@@ -1,0 +1,69 @@
+"""Ablation: concurrent queries sharing the asynchronous I/O subsystem.
+
+Paper outlook: "We also expect concurrent queries to strongly benefit
+from asynchronous I/O, as scheduling decisions can be made based on more
+pending requests."  This bench runs the same pair of queries serially
+(independent cold runs) and concurrently (shared disk queue + buffer),
+under both a reordering controller and FIFO.
+"""
+
+import pytest
+
+from repro import Database, ImportOptions, SchedulingPolicy
+from repro.algebra.concurrent import run_concurrent
+from repro.xmark import Q6_PRIME, generate_xmark
+from harness import bench_seed, run_query
+
+SCALE = 0.5
+PAIR = [
+    ("count(/site/regions//item)", "xmark", "xschedule"),
+    ("count(/site//annotation)", "xmark", "xschedule"),
+]
+
+_cache: dict[SchedulingPolicy, Database] = {}
+
+
+def db_with_policy(policy: SchedulingPolicy) -> Database:
+    if policy not in _cache:
+        seed = bench_seed()
+        db = Database(page_size=8192, buffer_pages=256, disk_policy=policy)
+        tree = generate_xmark(scale=SCALE, tags=db.tags, seed=seed)
+        db.add_tree(tree, "xmark", ImportOptions(fragmentation=1.0, seed=seed))
+        _cache[policy] = db
+    return _cache[policy]
+
+
+@pytest.mark.parametrize(
+    "mode,policy",
+    [
+        ("serial", SchedulingPolicy.SSTF),
+        ("concurrent", SchedulingPolicy.SSTF),
+        ("concurrent", SchedulingPolicy.FIFO),
+    ],
+    ids=["serial-sstf", "concurrent-sstf", "concurrent-fifo"],
+)
+def test_concurrent_pair(benchmark, record_result, mode, policy):
+    db = db_with_policy(policy)
+
+    def run():
+        if mode == "serial":
+            return sum(db.execute(q, doc=d, plan=p).total_time for q, d, p in PAIR)
+        return run_concurrent(db, PAIR).total_time
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "ablation_concurrent", mode=mode, policy=policy.value, total=float(total)
+    )
+
+
+def test_concurrency_benefit_requires_reordering(benchmark):
+    def run_all():
+        serial = sum(
+            db_with_policy(SchedulingPolicy.SSTF).execute(q, doc=d, plan=p).total_time
+            for q, d, p in PAIR
+        )
+        together = run_concurrent(db_with_policy(SchedulingPolicy.SSTF), PAIR).total_time
+        return serial, together
+
+    serial, together = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert together < serial

@@ -1,0 +1,51 @@
+"""Ablation: the ``//``-prefix R-optimisation (paper Sec. 5.4.5.4).
+
+With the logical rewrite disabled, ``//item`` compiles to
+``descendant-or-self::node()/child::item`` and XScan plans may treat
+every step-1 right end as implicitly reachable, saving R insertions and
+lookups.  This bench compares: rewrite on (the orthogonal logical
+optimisation), rewrite off with the R-optimisation, and rewrite off
+without it.
+"""
+
+import pytest
+
+from repro import EvalOptions
+from harness import run_query
+
+SCALE = 0.5
+QUERY = "count(//item)"
+
+VARIANTS = {
+    "rewrite": EvalOptions(rewrite_descendant=True),
+    "opt": EvalOptions(rewrite_descendant=False, descendant_root_opt=True),
+    "no_opt": EvalOptions(rewrite_descendant=False, descendant_root_opt=False),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_descendant_root_variants(benchmark, xmark_store, record_result, variant):
+    db = xmark_store(SCALE)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY, "xscan", VARIANTS[variant]), rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_descroot",
+        variant=variant,
+        total=result.total_time,
+        cpu=result.cpu_time,
+    )
+    assert result.value > 0
+
+
+def test_all_variants_agree_and_opt_helps(xmark_store, benchmark):
+    db = xmark_store(SCALE)
+
+    def run_all():
+        return {name: run_query(db, QUERY, "xscan", opts) for name, opts in VARIANTS.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    values = {r.value for r in results.values()}
+    assert len(values) == 1
+    # "reduces memory usage and improves XAssembly performance"
+    assert results["opt"].cpu_time <= results["no_opt"].cpu_time

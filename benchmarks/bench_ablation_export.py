@@ -1,0 +1,56 @@
+"""Ablation: document export via scan vs navigation (paper outlook).
+
+"We also want to investigate how our method can be used to speed up
+document export."  The scan exporter reads every page exactly once at
+streaming cost and stitches per-cluster text fragments (the textual
+analogue of partial path instances); the navigation exporter follows the
+logical order, paying a random access per border crossing.
+"""
+
+import pytest
+
+from harness import build_xmark_db
+
+SCALE = 0.25
+
+_db = None
+
+
+def db():
+    global _db
+    if _db is None:
+        _db = build_xmark_db(SCALE)
+    return _db
+
+
+@pytest.mark.parametrize("method", ["scan", "navigate"])
+def test_export_methods(benchmark, record_result, method):
+    database = db()
+    text, result = benchmark.pedantic(
+        lambda: database.export_xml(doc="xmark", method=method), rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_export",
+        method=method,
+        total=result.total_time,
+        cpu=result.cpu_time,
+        pages=float(result.stats.pages_read),
+        seeks=float(result.stats.seeks),
+    )
+    assert text.startswith("<site>")
+
+
+def test_exports_agree_and_scan_wins(benchmark):
+    database = db()
+
+    def run_pair():
+        return (
+            database.export_xml(doc="xmark", method="scan"),
+            database.export_xml(doc="xmark", method="navigate"),
+        )
+
+    (scan_text, scan), (nav_text, navigate) = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert scan_text == nav_text
+    assert scan.total_time < navigate.total_time

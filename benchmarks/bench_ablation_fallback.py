@@ -1,0 +1,46 @@
+"""Ablation: fallback mode under shrinking memory limits (paper Sec. 5.4.6).
+
+When XAssembly's S structure hits the per-query memory limit, the plan
+degrades to the Simple method.  Results stay correct; evaluation cost
+rises toward (and beyond) the Simple plan's, because the scan's work is
+partially wasted and the rest is re-evaluated.
+"""
+
+import pytest
+
+from repro import EvalOptions
+from harness import QUERY_BY_EXP, run_query
+
+SCALE = 0.5
+LIMITS = (None, 10_000, 1_000, 100)
+
+
+@pytest.mark.parametrize("limit", LIMITS, ids=lambda l: f"limit={l}")
+def test_fallback_limits(benchmark, xmark_store, record_result, limit):
+    db = xmark_store(SCALE)
+    options = EvalOptions(memory_limit=limit)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q6"], "xscan", options), rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_fallback",
+        limit=str(limit),
+        total=result.total_time,
+        fallbacks=float(result.stats.fallbacks),
+    )
+    assert result.value > 0
+
+
+def test_fallback_preserves_results_and_costs_more(xmark_store, benchmark):
+    db = xmark_store(SCALE)
+
+    def run_pair():
+        unlimited = run_query(db, QUERY_BY_EXP["q6"], "xscan", EvalOptions(memory_limit=None))
+        tiny = run_query(db, QUERY_BY_EXP["q6"], "xscan", EvalOptions(memory_limit=50))
+        return unlimited, tiny
+
+    unlimited, tiny = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert tiny.value == unlimited.value
+    assert tiny.stats.fallbacks == 1
+    assert unlimited.stats.fallbacks == 0
+    assert tiny.total_time > unlimited.total_time

@@ -1,0 +1,40 @@
+"""Ablation: XSchedule's queue minimum fill ``k`` (paper Sec. 5.3.4).
+
+The paper claims "since location paths are typically evaluated on a
+single context node, the choice of k does not matter much" (their default
+is 100).  With a single context the queue is fed by discovered crossings
+rather than by the producer, so sweeping k should barely move the needle.
+"""
+
+import pytest
+
+from repro import EvalOptions
+from harness import QUERY_BY_EXP, run_query
+
+K_VALUES = (1, 10, 100, 1000)
+SCALE = 0.5
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_k_sweep(benchmark, xmark_store, record_result, k):
+    db = xmark_store(SCALE)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q6"], "xschedule", EvalOptions(k_min_queue=k)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_k", k=k, total=result.total_time, cpu=result.cpu_time)
+    assert result.value > 0
+
+
+def test_k_choice_does_not_matter_much(xmark_store, benchmark):
+    db = xmark_store(SCALE)
+
+    def sweep():
+        return [
+            run_query(db, QUERY_BY_EXP["q6"], "xschedule", EvalOptions(k_min_queue=k)).total_time
+            for k in (1, 1000)
+        ]
+
+    low, high = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert abs(low - high) / min(low, high) < 0.25

@@ -1,0 +1,67 @@
+"""Ablation: physical layout — fragmentation and clustering policy.
+
+The paper's introduction argues that the physical page order cannot be
+relied upon (import-time regrouping, incremental updates).  This bench
+quantifies it: on a document-ordered sequential layout the Simple plan
+degenerates to near-sequential I/O and the gap closes; fragmentation
+restores the paper's regime.  XScan is layout-oblivious by construction.
+"""
+
+import pytest
+
+from repro import ClusterPolicy, Database, ImportOptions
+from repro.xmark import generate_xmark
+from harness import QUERY_BY_EXP, bench_seed, run_query
+
+SCALE = 0.5
+
+LAYOUTS = {
+    "seq_clean": ImportOptions(policy=ClusterPolicy.SEQUENTIAL, fragmentation=0.0),
+    "bestfit_clean": ImportOptions(policy=ClusterPolicy.BEST_FIT, fragmentation=0.0),
+    "bestfit_frag50": ImportOptions(policy=ClusterPolicy.BEST_FIT, fragmentation=0.5, seed=1),
+    "bestfit_frag100": ImportOptions(policy=ClusterPolicy.BEST_FIT, fragmentation=1.0, seed=1),
+}
+
+_cache: dict[str, Database] = {}
+
+
+def db_with_layout(name: str) -> Database:
+    if name not in _cache:
+        db = Database(page_size=8192, buffer_pages=256)
+        tree = generate_xmark(scale=SCALE, tags=db.tags, seed=bench_seed())
+        db.add_tree(tree, "xmark", LAYOUTS[name])
+        _cache[name] = db
+    return _cache[name]
+
+
+@pytest.mark.parametrize("layout", list(LAYOUTS))
+@pytest.mark.parametrize("plan", ["simple", "xschedule", "xscan"])
+def test_layout_matrix(benchmark, record_result, layout, plan):
+    db = db_with_layout(layout)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q6"], plan), rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_layout",
+        layout=layout,
+        plan=plan,
+        total=result.total_time,
+        seeks=float(result.stats.seeks),
+    )
+    assert result.value > 0
+
+
+def test_fragmentation_hurts_simple_most(benchmark):
+    def run_pair():
+        return (
+            run_query(db_with_layout("seq_clean"), QUERY_BY_EXP["q6"], "simple"),
+            run_query(db_with_layout("bestfit_frag100"), QUERY_BY_EXP["q6"], "simple"),
+            run_query(db_with_layout("seq_clean"), QUERY_BY_EXP["q6"], "xscan"),
+            run_query(db_with_layout("bestfit_frag100"), QUERY_BY_EXP["q6"], "xscan"),
+        )
+
+    s_clean, s_frag, n_clean, n_frag = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert s_frag.total_time > 1.5 * s_clean.total_time
+    # the scan's physical pattern is identical regardless of layout
+    assert abs(n_frag.total_time - n_clean.total_time) / n_clean.total_time < 0.2
+    assert s_frag.value == s_clean.value == n_frag.value == n_clean.value

@@ -1,0 +1,63 @@
+"""Ablation: page (cluster) size.
+
+The cluster is the unit of both I/O and cheap navigation (paper
+Sec. 3.3).  Smaller pages mean more clusters, more border crossings and
+more scheduling work; larger pages amortise seeks over more nodes but
+waste bandwidth on selective queries.
+"""
+
+import pytest
+
+from repro import Database, DiskGeometry, ImportOptions
+from repro.xmark import generate_xmark
+from harness import QUERY_BY_EXP, bench_seed, run_query
+
+SCALE = 0.25
+PAGE_SIZES = (2048, 8192, 32768)
+
+_cache: dict[int, Database] = {}
+
+
+def db_with_page_size(page_size: int) -> Database:
+    if page_size not in _cache:
+        seed = bench_seed()
+        db = Database(
+            page_size=page_size,
+            buffer_pages=256 * 8192 // page_size,  # constant buffer bytes
+            geometry=DiskGeometry(page_size=page_size),
+        )
+        tree = generate_xmark(scale=SCALE, tags=db.tags, seed=seed)
+        db.add_tree(
+            tree, "xmark", ImportOptions(page_size=page_size, fragmentation=1.0, seed=seed)
+        )
+        _cache[page_size] = db
+    return _cache[page_size]
+
+
+@pytest.mark.parametrize("page_size", PAGE_SIZES)
+@pytest.mark.parametrize("exp_id", ["q6", "q15"])
+def test_page_size_sweep(benchmark, record_result, page_size, exp_id):
+    db = db_with_page_size(page_size)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP[exp_id], "xschedule"), rounds=1, iterations=1
+    )
+    doc = db.document("xmark")
+    record_result(
+        "ablation_pagesize",
+        query=exp_id,
+        page_size=float(page_size),
+        total=result.total_time,
+        pages=float(doc.n_pages),
+        borders=float(doc.n_border_pairs),
+    )
+
+
+def test_smaller_pages_mean_more_borders(benchmark):
+    def measure():
+        return {
+            size: db_with_page_size(size).document("xmark").n_border_pairs
+            for size in PAGE_SIZES
+        }
+
+    borders = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert borders[2048] > borders[8192] > borders[32768]

@@ -1,0 +1,55 @@
+"""Ablation: controller scheduling policy (paper Sec. 3.7).
+
+The asynchronous interface exists so that "the lower system layers
+reorder the I/O requests".  Replacing the reordering controller (SSTF or
+C-LOOK) with FIFO removes that benefit and should push XSchedule back
+toward the Simple plan's I/O times.
+"""
+
+import pytest
+
+from repro import Database, ImportOptions, SchedulingPolicy
+from repro.xmark import generate_xmark
+from harness import QUERY_BY_EXP, bench_seed, run_query
+
+SCALE = 0.5
+POLICIES = (SchedulingPolicy.FIFO, SchedulingPolicy.SSTF, SchedulingPolicy.CLOOK)
+
+_cache: dict[SchedulingPolicy, Database] = {}
+
+
+def db_with_policy(policy: SchedulingPolicy) -> Database:
+    if policy not in _cache:
+        seed = bench_seed()
+        db = Database(page_size=8192, buffer_pages=256, disk_policy=policy)
+        tree = generate_xmark(scale=SCALE, tags=db.tags, seed=seed)
+        db.add_tree(tree, "xmark", ImportOptions(fragmentation=1.0, seed=seed))
+        _cache[policy] = db
+    return _cache[policy]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=[p.value for p in POLICIES])
+def test_scheduler_policy(benchmark, record_result, policy):
+    db = db_with_policy(policy)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q7"], "xschedule"), rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_scheduler",
+        policy=policy.value,
+        total=result.total_time,
+        seeks=float(result.stats.seeks),
+        seek_pages=float(result.stats.seek_distance),
+    )
+    assert result.value > 0
+
+
+def test_reordering_beats_fifo(benchmark):
+    def run_pair():
+        fifo = run_query(db_with_policy(SchedulingPolicy.FIFO), QUERY_BY_EXP["q7"], "xschedule")
+        sstf = run_query(db_with_policy(SchedulingPolicy.SSTF), QUERY_BY_EXP["q7"], "xschedule")
+        return fifo, sstf
+
+    fifo, sstf = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert sstf.total_time < fifo.total_time
+    assert sstf.stats.seek_distance < fifo.stats.seek_distance

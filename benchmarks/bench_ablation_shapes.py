@@ -1,0 +1,96 @@
+"""Ablation: document shape vs. the XSchedule/XScan crossover.
+
+Beyond XMark: synthetic documents at the extremes of shape —
+* ``wide``: one container with thousands of small children
+  (continuation-split child lists, scan-friendly);
+* ``deep``: long chains (one crossing per level, selective paths);
+* ``bushy``: balanced fanout.
+
+The paper's crossover argument is about *selectivity*; shape determines
+how much of the document a fixed-form query visits, so the same query
+flips winners across shapes.
+"""
+
+import pytest
+
+from repro import Database, ImportOptions
+from repro.model.builder import TreeBuilder
+
+SHAPES = ("wide", "deep", "bushy")
+QUERY = "count(//leaf)"
+
+_cache: dict[str, Database] = {}
+
+
+def build_shape(shape: str) -> Database:
+    if shape in _cache:
+        return _cache[shape]
+    db = Database(page_size=2048, buffer_pages=64)
+    builder = TreeBuilder(db.tags)
+    builder.start_element("root")
+    if shape == "wide":
+        for i in range(4000):
+            builder.start_element("leaf" if i % 3 == 0 else "filler")
+            builder.text("v" * 10)
+            builder.end_element()
+    elif shape == "deep":
+        for _ in range(40):
+            depth = 0
+            for _ in range(25):
+                builder.start_element("level")
+                depth += 1
+            builder.start_element("leaf")
+            builder.end_element()
+            for _ in range(depth):
+                builder.end_element()
+    else:  # bushy
+        def grow(level: int) -> None:
+            if level == 0:
+                builder.start_element("leaf")
+                builder.end_element()
+                return
+            builder.start_element("branch")
+            for _ in range(4):
+                grow(level - 1)
+            builder.end_element()
+
+        for _ in range(4):
+            grow(5)
+    builder.end_element()
+    db.add_tree(builder.finish(), "doc", ImportOptions(page_size=2048, fragmentation=1.0, seed=1))
+    _cache[shape] = db
+    return db
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("plan", ["simple", "xschedule", "xscan"])
+def test_shape_matrix(benchmark, record_result, shape, plan):
+    db = build_shape(shape)
+    result = benchmark.pedantic(
+        lambda: db.execute(QUERY, doc="doc", plan=plan), rounds=1, iterations=1
+    )
+    doc = db.document("doc")
+    record_result(
+        "ablation_shapes",
+        shape=shape,
+        plan=plan,
+        total=result.total_time,
+        pages=float(doc.n_pages),
+        answer=float(result.value),
+    )
+    assert result.value > 0
+
+
+def test_all_plans_agree_on_every_shape(benchmark):
+    def run_all():
+        return {
+            shape: {
+                plan: build_shape(shape).execute(QUERY, doc="doc", plan=plan).value
+                for plan in ("simple", "xschedule", "xscan")
+            }
+            for shape in SHAPES
+        }
+
+    matrix = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for shape, row in matrix.items():
+        assert len(set(row.values())) == 1, shape

@@ -1,0 +1,46 @@
+"""Ablation: multiple location paths over a single scan (paper outlook).
+
+Q7 evaluates three descendant counts.  Three independent XScan plans read
+the document three times; the shared-scan extension reads it once.  The
+CPU work (navigation + speculation per path) is unchanged, so the saving
+is exactly the redundant I/O — the paper's "easily extended" claim made
+concrete.
+"""
+
+import pytest
+
+from harness import QUERY_BY_EXP, run_query
+
+SCALE = 0.5
+PLANS = ("xschedule", "xscan", "xscan-shared")
+
+
+@pytest.mark.parametrize("plan", PLANS)
+def test_q7_shared_scan(benchmark, xmark_store, record_result, plan):
+    db = xmark_store(SCALE)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q7"], plan), rounds=1, iterations=1
+    )
+    record_result(
+        "ablation_sharedscan",
+        plan=plan,
+        total=result.total_time,
+        cpu=result.cpu_time,
+        pages=float(result.stats.pages_read),
+    )
+    assert result.value > 0
+
+
+def test_shared_scan_beats_separate_scans(xmark_store, benchmark):
+    db = xmark_store(SCALE)
+
+    def run_pair():
+        return (
+            run_query(db, QUERY_BY_EXP["q7"], "xscan"),
+            run_query(db, QUERY_BY_EXP["q7"], "xscan-shared"),
+        )
+
+    separate, shared = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert shared.value == separate.value
+    assert shared.stats.pages_read < 0.5 * separate.stats.pages_read
+    assert shared.total_time < separate.total_time

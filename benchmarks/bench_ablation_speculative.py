@@ -1,0 +1,51 @@
+"""Ablation: the ``speculative`` flag of XSchedule (paper Sec. 5.4.4).
+
+Speculation guarantees each cluster is visited at most once, at the cost
+of generating left-incomplete instances per border.  The benchmarked
+plans in the paper run with ``speculative = false``; this ablation
+quantifies the trade-off on both a revisit-prone query (Q7) and the
+selective Q15.
+"""
+
+import pytest
+
+from repro import EvalOptions
+from harness import QUERY_BY_EXP, run_query
+
+SCALE = 0.5
+
+
+@pytest.mark.parametrize("exp_id", ["q7", "q15"])
+@pytest.mark.parametrize("speculative", [False, True], ids=["plain", "speculative"])
+def test_speculative_flag(benchmark, xmark_store, record_result, exp_id, speculative):
+    db = xmark_store(SCALE)
+    result = benchmark.pedantic(
+        lambda: run_query(
+            db, QUERY_BY_EXP[exp_id], "xschedule", EvalOptions(speculative=speculative)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "ablation_speculative",
+        query=exp_id,
+        speculative=str(speculative),
+        total=result.total_time,
+        cpu=result.cpu_time,
+        pages=float(result.stats.pages_read),
+        clusters=float(result.stats.clusters_visited),
+        spec_instances=float(result.stats.speculative_instances),
+    )
+
+
+def test_speculation_never_increases_cluster_visits(xmark_store, benchmark):
+    db = xmark_store(SCALE)
+
+    def run_pair():
+        plain = run_query(db, QUERY_BY_EXP["q7"], "xschedule", EvalOptions(speculative=False))
+        spec = run_query(db, QUERY_BY_EXP["q7"], "xschedule", EvalOptions(speculative=True))
+        return plain, spec
+
+    plain, spec = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert spec.stats.clusters_visited <= plain.stats.clusters_visited
+    assert spec.value == plain.value

@@ -1,0 +1,39 @@
+"""Figure 10: Q7 = three descendant counts — total time vs scale factor.
+
+Paper shape to reproduce: XScan wins by up to ~4x over Simple and ~3x
+over XSchedule (low selectivity: the sequential scan pays off);
+XSchedule still beats Simple everywhere.
+"""
+
+import pytest
+
+from conftest import bench_scales
+from harness import PLANS, QUERY_BY_EXP, run_query
+
+
+@pytest.mark.parametrize("scale", bench_scales())
+@pytest.mark.parametrize("plan", PLANS)
+def test_fig10_q7(benchmark, xmark_store, record_result, scale, plan):
+    db = xmark_store(scale)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q7"], plan), rounds=1, iterations=1
+    )
+    record_result(
+        "fig10_q7", scale=scale, plan=plan, total=result.total_time, cpu=result.cpu_time
+    )
+    benchmark.extra_info["simulated_total_s"] = result.total_time
+    assert result.value is not None and result.value > 0
+
+
+def test_fig10_shape_holds(xmark_store, benchmark):
+    """On the low-selectivity Q7, the scan plan is the fastest."""
+    db = xmark_store(bench_scales()[len(bench_scales()) // 2])
+
+    def run_all():
+        return {plan: run_query(db, QUERY_BY_EXP["q7"], plan) for plan in PLANS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert results["xscan"].total_time < results["xschedule"].total_time
+    assert results["xschedule"].total_time < results["simple"].total_time
+    # the paper's headline: up to a factor of four over Simple
+    assert results["simple"].total_time / results["xscan"].total_time > 2.0

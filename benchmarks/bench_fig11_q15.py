@@ -1,0 +1,37 @@
+"""Figure 11: Q15 = long selective child path — total time vs scale factor.
+
+Paper shape to reproduce: the scan plan loses badly (it reads the whole
+document and pays speculative-instance maintenance for a 13-step path),
+while XSchedule stays below Simple.
+"""
+
+import pytest
+
+from conftest import bench_scales
+from harness import PLANS, QUERY_BY_EXP, run_query
+
+
+@pytest.mark.parametrize("scale", bench_scales())
+@pytest.mark.parametrize("plan", PLANS)
+def test_fig11_q15(benchmark, xmark_store, record_result, scale, plan):
+    db = xmark_store(scale)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q15"], plan), rounds=1, iterations=1
+    )
+    record_result(
+        "fig11_q15", scale=scale, plan=plan, total=result.total_time, cpu=result.cpu_time
+    )
+    benchmark.extra_info["simulated_total_s"] = result.total_time
+    assert result.nodes is not None
+
+
+def test_fig11_shape_holds(xmark_store, benchmark):
+    """On the highly selective Q15, the scan plan is much slower."""
+    db = xmark_store(bench_scales()[len(bench_scales()) // 2])
+
+    def run_all():
+        return {plan: run_query(db, QUERY_BY_EXP["q15"], plan) for plan in PLANS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert results["xschedule"].total_time < results["simple"].total_time
+    assert results["xscan"].total_time > 2.0 * results["simple"].total_time

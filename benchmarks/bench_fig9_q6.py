@@ -1,0 +1,37 @@
+"""Figure 9: Q6' = count(/site/regions//item) — total time vs scale factor.
+
+Paper shape to reproduce: XSchedule < XScan < Simple at every scale;
+XSchedule roughly 40% below Simple.
+"""
+
+import pytest
+
+from conftest import bench_scales
+from harness import PLANS, QUERY_BY_EXP, run_query
+
+
+@pytest.mark.parametrize("scale", bench_scales())
+@pytest.mark.parametrize("plan", PLANS)
+def test_fig9_q6(benchmark, xmark_store, record_result, scale, plan):
+    db = xmark_store(scale)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q6"], plan), rounds=1, iterations=1
+    )
+    record_result(
+        "fig9_q6", scale=scale, plan=plan, total=result.total_time, cpu=result.cpu_time
+    )
+    benchmark.extra_info["simulated_total_s"] = result.total_time
+    benchmark.extra_info["simulated_cpu_s"] = result.cpu_time
+    assert result.value is not None and result.value > 0
+
+
+def test_fig9_shape_holds(xmark_store, record_result, benchmark):
+    """XSchedule beats Simple on Q6' at a representative scale."""
+    db = xmark_store(bench_scales()[len(bench_scales()) // 2])
+
+    def run_all():
+        return {plan: run_query(db, QUERY_BY_EXP["q6"], plan) for plan in PLANS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert results["xschedule"].total_time < results["simple"].total_time
+    assert results["xscan"].total_time < results["simple"].total_time

@@ -1,0 +1,53 @@
+"""Table 3: total execution time and CPU usage at XMark scale factor 1.
+
+Reproduces the paper's breakdown: CPU fractions around 10-25% for Simple,
+slightly higher for XSchedule (same CPU over a shorter total), and
+60-100% for XScan (CPU-bound scan).  Simple and XSchedule must have
+nearly identical *absolute* CPU times — the paper stresses that the
+XAssembly bookkeeping overhead is minimal.
+"""
+
+import pytest
+
+from harness import PAPER_QUERIES, PLANS, run_query
+
+
+@pytest.mark.parametrize("plan", PLANS)
+@pytest.mark.parametrize("exp_id,label,query", PAPER_QUERIES)
+def test_table3(benchmark, xmark_store, record_result, plan, exp_id, label, query):
+    db = xmark_store(1.0)
+    result = benchmark.pedantic(lambda: run_query(db, query, plan), rounds=1, iterations=1)
+    record_result(
+        "table3", query=exp_id, plan=plan, total=result.total_time, cpu=result.cpu_time
+    )
+    benchmark.extra_info["simulated_total_s"] = result.total_time
+    benchmark.extra_info["simulated_cpu_s"] = result.cpu_time
+    assert result.total_time >= result.cpu_time > 0
+
+
+def test_table3_cpu_parity_simple_vs_xschedule(xmark_store, benchmark):
+    """Paper: 'very similar CPU times for XSchedule and the Simple
+    approach in all queries'."""
+    db = xmark_store(1.0)
+
+    def run_both():
+        return [
+            (run_query(db, q, "simple").cpu_time, run_query(db, q, "xschedule").cpu_time)
+            for _, _, q in PAPER_QUERIES
+        ]
+
+    pairs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for simple_cpu, xschedule_cpu in pairs:
+        assert xschedule_cpu < 1.6 * simple_cpu
+        assert simple_cpu < 1.6 * xschedule_cpu
+
+
+def test_table3_xscan_is_cpu_bound(xmark_store, benchmark):
+    db = xmark_store(1.0)
+
+    def run_scan():
+        return [run_query(db, q, "xscan") for _, _, q in PAPER_QUERIES]
+
+    results = benchmark.pedantic(run_scan, rounds=1, iterations=1)
+    for result in results:
+        assert result.cpu_fraction > 0.5

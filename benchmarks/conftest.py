@@ -1,0 +1,93 @@
+"""Shared benchmark infrastructure.
+
+Documents are generated and imported once per scale factor and shared
+across all benchmark modules (building an XMark store is far more
+expensive than querying it).  Every benchmark records its simulated-time
+measurements into a global registry; a terminal-summary hook prints the
+paper-style tables (Figures 9-11, Table 3, and the ablations) at the end
+of the run, so ``pytest benchmarks/ --benchmark-only`` reproduces the
+paper's numbers in one go.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALES`` — comma-separated scale factors (default: the
+  paper's nine, 0.1 .. 2.0).
+* ``REPRO_BENCH_SEED`` — generator/layout seed (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+from harness import (
+    DEFAULT_SCALES,
+    PAPER_REFERENCE,
+    build_xmark_db,
+    format_fig_table,
+    format_table3,
+)
+
+_STORE_CACHE: dict[float, object] = {}
+
+#: experiment id -> list of result rows (dicts)
+RESULTS: dict[str, list[dict]] = defaultdict(list)
+
+
+def bench_scales() -> list[float]:
+    raw = os.environ.get("REPRO_BENCH_SCALES")
+    if raw:
+        return [float(x) for x in raw.split(",") if x.strip()]
+    return list(DEFAULT_SCALES)
+
+
+@pytest.fixture(scope="session")
+def xmark_store():
+    """scale -> Database factory with caching."""
+
+    def get(scale: float):
+        if scale not in _STORE_CACHE:
+            _STORE_CACHE[scale] = build_xmark_db(scale)
+        return _STORE_CACHE[scale]
+
+    return get
+
+
+def record(experiment: str, **row) -> None:
+    RESULTS[experiment].append(row)
+
+
+@pytest.fixture()
+def record_result():
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tr = terminalreporter
+    if not RESULTS:
+        return
+    tr.section("paper reproduction tables (simulated seconds)")
+    for exp_id in ("fig9_q6", "fig10_q7", "fig11_q15"):
+        if exp_id in RESULTS:
+            tr.write_line("")
+            tr.write_line(format_fig_table(exp_id, RESULTS[exp_id]))
+    if "table3" in RESULTS:
+        tr.write_line("")
+        tr.write_line(format_table3(RESULTS["table3"]))
+    ablations = sorted(k for k in RESULTS if k.startswith("ablation_"))
+    for exp_id in ablations:
+        tr.write_line("")
+        tr.write_line(f"--- {exp_id} ---")
+        rows = RESULTS[exp_id]
+        keys = [k for k in rows[0] if k != "experiment"]
+        header = "  ".join(f"{k:>12s}" for k in keys)
+        tr.write_line(header)
+        for row in rows:
+            tr.write_line(
+                "  ".join(
+                    f"{row[k]:>12.4f}" if isinstance(row[k], float) else f"{str(row[k]):>12s}"
+                    for k in keys
+                )
+            )

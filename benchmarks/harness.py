@@ -1,0 +1,148 @@
+"""Benchmark harness: workload construction, execution, and formatting.
+
+Runnable standalone to regenerate every table and figure of the paper's
+evaluation without pytest::
+
+    python benchmarks/harness.py            # full sweep (paper scales)
+    python benchmarks/harness.py 0.1 0.5    # selected scale factors
+
+Measurement discipline mirrors the paper (Sec. 6.1): every query runs
+cold (fresh buffer, disk head parked at page 0); the buffer holds 256
+pages while documents span ~150 (sf 0.1) to ~3000 (sf 2.0) pages, so the
+buffer-to-document ratio crosses 1 within the sweep, as in the paper.
+The physical layout uses ``fragmentation=1.0`` — Natix's segment
+allocator does not lay documents out in logical order, and the paper's
+measured Simple-plan times (~4 ms/page) confirm per-page random I/O on
+freshly imported documents.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import Database, EvalOptions, ImportOptions
+from repro.engine import Result
+from repro.xmark import PAPER_QUERIES, Q6_PRIME, Q7, Q15, generate_xmark
+
+#: The paper's nine XMark scaling factors.
+DEFAULT_SCALES = (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0)
+
+PLANS = ("simple", "xschedule", "xscan")
+
+#: Paper Table 3 (XMark sf 1): query -> plan -> (total s, cpu s).
+PAPER_REFERENCE = {
+    "q6": {"simple": (19.33, 4.36), "xschedule": (11.77, 3.84), "xscan": (13.07, 8.39)},
+    "q7": {"simple": (114.20, 23.30), "xschedule": (72.41, 20.70), "xscan": (36.25, 22.54)},
+    "q15": {"simple": (3.19, 0.26), "xschedule": (2.42, 0.30), "xscan": (19.79, 15.15)},
+}
+
+QUERY_BY_EXP = {"q6": Q6_PRIME, "q7": Q7, "q15": Q15}
+LABEL_BY_EXP = {"q6": "Q6'", "q7": "Q7", "q15": "Q15"}
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def build_xmark_db(
+    scale: float,
+    buffer_pages: int = 256,
+    page_size: int = 8192,
+    fragmentation: float = 1.0,
+) -> Database:
+    """Generate and import one XMark document; returns the database."""
+    seed = bench_seed()
+    db = Database(page_size=page_size, buffer_pages=buffer_pages)
+    tree = generate_xmark(scale=scale, tags=db.tags, seed=seed)
+    db.add_tree(
+        tree,
+        "xmark",
+        ImportOptions(page_size=page_size, fragmentation=fragmentation, seed=seed),
+    )
+    return db
+
+
+def run_query(db: Database, query: str, plan: str, options: EvalOptions | None = None) -> Result:
+    """One cold execution."""
+    return db.execute(query, doc="xmark", plan=plan, options=options)
+
+
+# ------------------------------------------------------------- formatting
+
+
+def format_fig_table(exp_id: str, rows: list[dict]) -> str:
+    """Series table for one figure: scale vs per-plan total time."""
+    fig_no = {"fig9_q6": "Figure 9 (Q6')", "fig10_q7": "Figure 10 (Q7)", "fig11_q15": "Figure 11 (Q15)"}
+    by_scale: dict[float, dict[str, float]] = {}
+    for row in rows:
+        by_scale.setdefault(row["scale"], {})[row["plan"]] = row["total"]
+    lines = [f"--- {fig_no.get(exp_id, exp_id)}: total time [simulated s] vs scale ---"]
+    lines.append(f"{'scale':>6s}  {'simple':>10s}  {'xschedule':>10s}  {'xscan':>10s}  {'sched/simp':>10s}  {'scan/simp':>10s}")
+    for scale in sorted(by_scale):
+        row = by_scale[scale]
+        if len(row) < 3:
+            continue
+        lines.append(
+            f"{scale:>6.2f}  {row['simple']:>10.3f}  {row['xschedule']:>10.3f}  "
+            f"{row['xscan']:>10.3f}  {row['xschedule'] / row['simple']:>10.2f}  "
+            f"{row['xscan'] / row['simple']:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[dict]) -> str:
+    """The paper's Table 3: total and CPU at scale factor 1."""
+    lines = ["--- Table 3: totals and CPU at XMark scale factor 1 (simulated) ---"]
+    lines.append(
+        f"{'query':>6s} {'plan':>10s} {'total[s]':>10s} {'CPU[s]':>8s} {'CPU%':>5s}"
+        f"   | paper: {'total[s]':>9s} {'CPU[s]':>7s} {'CPU%':>5s}"
+    )
+    for row in rows:
+        paper_total, paper_cpu = PAPER_REFERENCE[row["query"]][row["plan"]]
+        lines.append(
+            f"{LABEL_BY_EXP[row['query']]:>6s} {row['plan']:>10s} {row['total']:>10.3f} "
+            f"{row['cpu']:>8.3f} {100 * row['cpu'] / row['total']:>4.0f}%"
+            f"   |        {paper_total:>9.2f} {paper_cpu:>7.2f} {100 * paper_cpu / paper_total:>4.0f}%"
+        )
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ standalone
+
+
+def main(argv: list[str]) -> int:
+    scales = [float(a) for a in argv] if argv else list(DEFAULT_SCALES)
+    stores: dict[float, Database] = {}
+    fig_rows: dict[str, list[dict]] = {"fig9_q6": [], "fig10_q7": [], "fig11_q15": []}
+    table3_rows: list[dict] = []
+    for scale in scales:
+        print(f"building XMark store sf={scale} ...", flush=True)
+        stores[scale] = build_xmark_db(scale)
+    for exp_id, label, query in PAPER_QUERIES:
+        fig_id = {"q6": "fig9_q6", "q7": "fig10_q7", "q15": "fig11_q15"}[exp_id]
+        for scale in scales:
+            for plan in PLANS:
+                result = run_query(stores[scale], query, plan)
+                fig_rows[fig_id].append(
+                    {"scale": scale, "plan": plan, "total": result.total_time}
+                )
+                if scale == 1.0:
+                    table3_rows.append(
+                        {"query": exp_id, "plan": plan, "total": result.total_time, "cpu": result.cpu_time}
+                    )
+            print(f"  {label} sf={scale} done", flush=True)
+    for fig_id in ("fig9_q6", "fig10_q7", "fig11_q15"):
+        print()
+        print(format_fig_table(fig_id, fig_rows[fig_id]))
+    if table3_rows:
+        print()
+        print(format_table3(table3_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,50 @@
+"""The XSchedule/XScan crossover: selectivity decides the I/O operator.
+
+The paper observes that the sequential scan wins on low-selectivity
+queries (Q7) and loses badly on selective ones (Q15), and calls for a
+cost model to choose between them.  This example sweeps a family of
+queries from "touch one subtree" to "touch everything" and shows where
+the crossover falls — and that the AUTO cost model tracks it.
+
+Run with::
+
+    python examples/async_vs_scan.py [scale]
+"""
+
+import sys
+
+from repro import Database, ImportOptions
+from repro.xmark import generate_xmark
+
+#: From highly selective to whole-document.
+QUERY_LADDER = [
+    ("one region", "count(/site/regions/africa/item)"),
+    ("one section", "count(/site/closed_auctions/closed_auction)"),
+    ("items", "count(/site/regions//item)"),
+    ("names everywhere", "count(/site//name)"),
+    ("keywords everywhere", "count(/site//keyword)"),
+    ("every element", "count(//*)"),
+]
+
+
+def main(scale: float = 0.25) -> None:
+    db = Database(page_size=8192, buffer_pages=256)
+    tree = generate_xmark(scale=scale, tags=db.tags, seed=1)
+    doc = db.add_tree(tree, "xmark", ImportOptions(fragmentation=1.0, seed=1))
+    print(f"XMark sf={scale}: {doc.n_pages} pages\n")
+    print(f"{'query':<20s} {'answer':>8s} {'xsched[s]':>10s} {'xscan[s]':>9s} "
+          f"{'winner':>9s} {'auto':>10s}")
+    for name, query in QUERY_LADDER:
+        xschedule = db.execute(query, doc="xmark", plan="xschedule")
+        xscan = db.execute(query, doc="xmark", plan="xscan")
+        auto = db.execute(query, doc="xmark", plan="auto")
+        winner = "xschedule" if xschedule.total_time < xscan.total_time else "xscan"
+        chosen = auto.plan_kinds[0].value
+        mark = "" if chosen == winner else "  (!)"
+        print(f"{name:<20s} {xschedule.value:>8.0f} {xschedule.total_time:>10.3f} "
+              f"{xscan.total_time:>9.3f} {winner:>9s} {chosen:>10s}{mark}")
+    print("\n(!) marks queries where the estimator picked the slower operator.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

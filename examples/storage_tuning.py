@@ -1,0 +1,68 @@
+"""Storage tuning: how physical layout decisions change query cost.
+
+Explores the knobs of the clustered tree store on a fixed workload:
+page size, clustering policy (best-fit regrouping vs strict sequential
+fill), and layout fragmentation — the paper's motivation for not trusting
+the physical page order.
+
+Run with::
+
+    python examples/storage_tuning.py
+"""
+
+from repro import ClusterPolicy, Database, ImportOptions
+from repro.xmark import Q6_PRIME, generate_xmark
+
+SCALE = 0.1
+SEED = 1
+
+
+def build(page_size: int, policy: ClusterPolicy, fragmentation: float) -> Database:
+    db = Database(page_size=page_size, buffer_pages=256)
+    tree = generate_xmark(scale=SCALE, tags=db.tags, seed=SEED)
+    db.add_tree(
+        tree,
+        "xmark",
+        ImportOptions(
+            page_size=page_size,
+            policy=policy,
+            fragmentation=fragmentation,
+            seed=SEED,
+        ),
+    )
+    return db
+
+
+def run(db: Database, plan: str):
+    return db.execute(Q6_PRIME, doc="xmark", plan=plan)
+
+
+def main() -> None:
+    print(f"{'layout':<32s} {'pages':>6s} {'borders':>8s} "
+          f"{'simple[s]':>10s} {'xsched[s]':>10s} {'xscan[s]':>9s}")
+    configs = [
+        ("8K best-fit, clean", 8192, ClusterPolicy.BEST_FIT, 0.0),
+        ("8K best-fit, fragmented", 8192, ClusterPolicy.BEST_FIT, 1.0),
+        ("8K sequential, clean", 8192, ClusterPolicy.SEQUENTIAL, 0.0),
+        ("2K best-fit, fragmented", 2048, ClusterPolicy.BEST_FIT, 1.0),
+        ("32K best-fit, fragmented", 32768, ClusterPolicy.BEST_FIT, 1.0),
+    ]
+    for name, page_size, policy, frag in configs:
+        db = build(page_size, policy, frag)
+        doc = db.document("xmark")
+        times = {plan: run(db, plan).total_time for plan in ("simple", "xschedule", "xscan")}
+        print(f"{name:<32s} {doc.n_pages:>6d} {doc.n_border_pairs:>8d} "
+              f"{times['simple']:>10.3f} {times['xschedule']:>10.3f} {times['xscan']:>9.3f}")
+
+    print("""
+observations
+  * fragmentation barely moves XScan (it reads physical order anyway)
+    but multiplies the Simple plan's cost: that gap is the paper's thesis;
+  * a document-ordered sequential layout makes Simple nearly sequential --
+    the regime where reordering buys little;
+  * smaller pages mean more clusters and more border crossings, shifting
+    cost from intra-cluster navigation to scheduling.""")
+
+
+if __name__ == "__main__":
+    main()

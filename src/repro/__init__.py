@@ -1,0 +1,59 @@
+"""repro — Cost-Sensitive Reordering of Navigational Primitives.
+
+A complete, simulation-backed reproduction of Kanne, Brantner &
+Moerkotte, "Cost-Sensitive Reordering of Navigational Primitives"
+(SIGMOD 2005): the partial-path-instance algebra (XStep, XAssembly,
+XSchedule, XScan) over a Natix-style clustered tree store, a simulated
+disk with asynchronous I/O, and the XMark workloads of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import Database
+    from repro.xmark import generate_xmark
+
+    db = Database(buffer_pages=256)
+    tree = generate_xmark(scale=0.1, tags=db.tags)
+    db.add_tree(tree, "xmark")
+    for plan in ("simple", "xschedule", "xscan"):
+        r = db.execute("count(/site/regions//item)", doc="xmark", plan=plan)
+        print(plan, r.value, f"{r.total_time:.3f}s")
+"""
+
+from repro.axes import Axis
+from repro.engine import Database, Result
+from repro.errors import (
+    PlanError,
+    ReproError,
+    StorageError,
+    UnsupportedQueryError,
+    XPathSyntaxError,
+    XmlSyntaxError,
+)
+from repro.algebra.context import EvalOptions
+from repro.sim.costmodel import CostModel
+from repro.sim.disk import DiskGeometry, SchedulingPolicy
+from repro.storage.importer import ClusterPolicy, ImportOptions
+from repro.xpath.compile import PlanKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Result",
+    "Axis",
+    "EvalOptions",
+    "CostModel",
+    "DiskGeometry",
+    "SchedulingPolicy",
+    "ImportOptions",
+    "ClusterPolicy",
+    "PlanKind",
+    "ReproError",
+    "StorageError",
+    "XmlSyntaxError",
+    "XPathSyntaxError",
+    "UnsupportedQueryError",
+    "PlanError",
+    "__version__",
+]

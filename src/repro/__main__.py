@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro``.
+
+Run XPath queries against an XML file or a generated XMark document on
+the simulated storage engine, comparing physical plans::
+
+    python -m repro --xml doc.xml "count(//item)"
+    python -m repro --xmark 0.1 --compare "count(/site/regions//item)"
+    python -m repro --xmark 0.1 --explain --plan xscan "//keyword"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Database, EvalOptions, ImportOptions, ReproError
+from repro.xmark import generate_xmark
+
+PLAN_CHOICES = ("auto", "simple", "xschedule", "xscan", "xscan-shared")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cost-sensitive XPath evaluation on a simulated storage engine",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--xml", metavar="FILE", help="load an XML document from FILE")
+    source.add_argument(
+        "--xmark", metavar="SCALE", type=float, help="generate an XMark document"
+    )
+    source.add_argument(
+        "--store", metavar="FILE", help="open a persisted store (see --save)"
+    )
+    parser.add_argument(
+        "--save", metavar="FILE", help="persist the store to FILE after loading"
+    )
+    parser.add_argument("queries", nargs="+", metavar="QUERY", help="XPath queries to run")
+    parser.add_argument("--plan", choices=PLAN_CHOICES, default="auto")
+    parser.add_argument(
+        "--compare", action="store_true", help="run every plan and tabulate"
+    )
+    parser.add_argument("--explain", action="store_true", help="print the physical plan")
+    parser.add_argument("--page-size", type=int, default=8192)
+    parser.add_argument("--buffer-pages", type=int, default=256)
+    parser.add_argument(
+        "--fragmentation",
+        type=float,
+        default=1.0,
+        help="physical layout dispersion, 0.0 (document order) to 1.0 (shuffled)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--show-nodes", type=int, default=5, metavar="N", help="print up to N result nodes"
+    )
+    return parser
+
+
+def load_database(args: argparse.Namespace) -> Database:
+    if args.store:
+        db = Database.load(args.store, buffer_pages=args.buffer_pages)
+        name = next(iter(db.store.documents))
+        if name != "doc":
+            db.store.documents["doc"] = db.store.documents[name]
+        doc = db.document("doc")
+        print(
+            f"document: {doc.n_nodes} nodes on {doc.n_pages} pages "
+            f"({doc.n_border_pairs} border pairs)"
+        )
+        return db
+    db = Database(page_size=args.page_size, buffer_pages=args.buffer_pages)
+    import_options = ImportOptions(
+        page_size=args.page_size, fragmentation=args.fragmentation, seed=args.seed
+    )
+    if args.xml:
+        with open(args.xml, encoding="utf-8") as handle:
+            db.load_xml(handle.read(), "doc", import_options)
+    else:
+        tree = generate_xmark(scale=args.xmark, tags=db.tags, seed=args.seed)
+        db.add_tree(tree, "doc", import_options)
+    if args.save:
+        db.save(args.save)
+        print(f"store saved to {args.save}")
+    doc = db.document("doc")
+    print(
+        f"document: {doc.n_nodes} nodes on {doc.n_pages} pages "
+        f"({doc.n_border_pairs} border pairs)"
+    )
+    return db
+
+
+def print_result(db: Database, plan: str, result, show_nodes: int) -> None:
+    if result.value is not None:
+        answer = f"value = {result.value:g}"
+    else:
+        answer = f"{len(result.nodes)} nodes"
+    print(
+        f"  {plan:<14s} {answer:<20s} total={result.total_time:9.4f}s "
+        f"cpu={result.cpu_time:8.4f}s ({result.cpu_fraction * 100:4.1f}%) "
+        f"pages={result.stats.pages_read:6d} seeks={result.stats.seeks:5d}"
+    )
+    if result.nodes is not None and show_nodes:
+        for nid in result.nodes[:show_nodes]:
+            kind, tag, value = db.node_info(nid)
+            rendered = f"  <{tag}>" if kind == "ELEMENT" else f"  {kind.lower()}: {value!r}"
+            print(f"      {rendered}")
+        if len(result.nodes) > show_nodes:
+            print(f"      ... and {len(result.nodes) - show_nodes} more")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        db = load_database(args)
+        for query in args.queries:
+            print(f"\n{query}")
+            if args.explain:
+                compiled = db.prepare(query, doc="doc", plan=args.plan)
+                print(compiled.explain())
+            plans = PLAN_CHOICES[1:] if args.compare else (args.plan,)
+            for plan in plans:
+                try:
+                    result = db.execute(query, doc="doc", plan=plan)
+                except ReproError as error:
+                    print(f"  {plan:<14s} error: {error}")
+                    continue
+                print_result(db, plan, result, args.show_nodes)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

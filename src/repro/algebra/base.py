@@ -1,0 +1,52 @@
+"""Iterator protocol for physical operators.
+
+Every operator follows the classic open/next/close discipline [Graefe 93]
+the paper requires.  Concretely, subclasses implement ``_produce()`` as a
+generator; ``open`` instantiates it, ``next`` advances it, ``close``
+disposes of it.  This keeps operator control flow readable while staying
+a strict pull-based iterator tree externally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.context import EvalContext
+from repro.algebra.pathinstance import PathInstance
+from repro.errors import PlanError
+
+
+class Operator:
+    """Base class for all physical operators."""
+
+    def __init__(self, ctx: EvalContext) -> None:
+        self.ctx = ctx
+        self._iter: Iterator[PathInstance] | None = None
+
+    def _produce(self) -> Iterator[PathInstance]:
+        raise NotImplementedError
+
+    def open(self) -> None:
+        """Prepare the operator (and its inputs) for enumeration."""
+        self._iter = self._produce()
+
+    def next(self) -> PathInstance | None:
+        """Return the next result, or None when exhausted."""
+        if self._iter is None:
+            raise PlanError(f"{type(self).__name__}.next() before open()")
+        self.ctx.charge_call()
+        return next(self._iter, None)
+
+    def close(self) -> None:
+        """Release operator resources."""
+        if self._iter is not None:
+            self._iter.close()  # type: ignore[attr-defined]
+            self._iter = None
+
+    def __iter__(self) -> Iterator[PathInstance]:
+        """Convenience: drain the operator (used inside ``_produce``)."""
+        while True:
+            item = self.next()
+            if item is None:
+                return
+            yield item

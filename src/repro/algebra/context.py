@@ -1,0 +1,130 @@
+"""Shared evaluation state and cost charging for one query execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+from repro.sim.costmodel import CostModel
+from repro.sim.iosys import AsyncIOSystem
+from repro.sim.stats import Stats
+from repro.storage.buffer import BufferManager, Frame
+from repro.storage.page import Segment
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Tuning knobs of the cost-sensitive operators.
+
+    Attributes
+    ----------
+    k_min_queue:
+        Desired minimum fill of XSchedule's queue Q before asking the
+        producer for more context nodes (paper default: 100).
+    speculative:
+        Whether XSchedule generates left-incomplete instances on first
+        visit of a cluster to avoid re-visits (Sec. 5.4.4).  XScan always
+        speculates.
+    memory_limit:
+        Maximum number of instances XAssembly may hold in S before the
+        plan reverts to fallback mode (Sec. 5.4.6).  ``None`` = unlimited.
+    descendant_root_opt:
+        Enable the ``//``-prefix optimisation: with an XScan input, right
+        ends of step 1 of a path starting ``/descendant-or-self::node()``
+        need not be stored in R (Sec. 5.4.5.4).
+    scan_readahead:
+        Number of pages XScan keeps requested ahead of the one it is
+        processing.  The default of 0 reads synchronously, faithful to
+        the paper's O_DIRECT setup (OS readahead bypassed); positive
+        values model asynchronous prefetch, which overlaps the scan's
+        I/O with its CPU work (see the readahead ablation benchmark).
+    rewrite_descendant:
+        Logical rewrite ``descendant-or-self::node()/child::X`` =>
+        ``descendant::X`` applied by the compiler (orthogonal logical
+        optimisation, Sec. 2).
+    """
+
+    k_min_queue: int = 100
+    speculative: bool = False
+    memory_limit: int | None = None
+    descendant_root_opt: bool = True
+    scan_readahead: int = 0
+    rewrite_descendant: bool = True
+
+
+class EvalContext:
+    """Everything a plan's operators share during one execution."""
+
+    def __init__(
+        self,
+        segment: Segment,
+        buffer: BufferManager,
+        iosys: AsyncIOSystem,
+        clock: SimClock,
+        costs: CostModel,
+        stats: Stats,
+        options: EvalOptions,
+        tags=None,
+    ) -> None:
+        self.segment = segment
+        self.buffer = buffer
+        self.iosys = iosys
+        self.clock = clock
+        self.costs = costs
+        self.stats = stats
+        self.options = options
+        #: the store's tag dictionary (needed by serialisation operators)
+        self.tags = tags
+        #: The cluster currently being processed; maintained (pinned) by
+        #: the plan's I/O-performing operator.  All swizzled slot
+        #: references in flight between XStep operators point into it.
+        self.current_frame: Frame | None = None
+        #: Set when XAssembly's memory limit trips (Sec. 5.4.6); operators
+        #: poll it and degrade to the Simple method's behaviour.
+        self.fallback = False
+
+    # ------------------------------------------------------- cost charging
+
+    def charge_hop(self) -> None:
+        """One intra-cluster edge traversal."""
+        self.clock.work(self.costs.intra_hop)
+        self.stats.intra_hops += 1
+
+    def charge_test(self) -> None:
+        """One node-test evaluation."""
+        self.clock.work(self.costs.node_test)
+        self.stats.node_tests += 1
+
+    def charge_instance(self) -> None:
+        """Creation/copy of one path-instance tuple."""
+        self.clock.work(self.costs.instance_op)
+        self.stats.instances_created += 1
+
+    def charge_set_op(self) -> None:
+        """One R/S/duplicate-hash operation."""
+        self.clock.work(self.costs.set_op)
+
+    def charge_queue_op(self) -> None:
+        """One insert/remove on XSchedule's queue Q."""
+        self.clock.work(self.costs.queue_op)
+
+    def charge_call(self) -> None:
+        """One inter-operator ``next()`` call."""
+        self.clock.work(self.costs.iterator_call)
+
+    # -------------------------------------------------------- current frame
+
+    def set_current_frame(self, frame: Frame | None) -> None:
+        """Move the I/O operator's pin to ``frame`` (unpins the old one)."""
+        if self.current_frame is not None:
+            self.buffer.unfix(self.current_frame)
+        self.current_frame = frame
+
+    def current_page(self):
+        if self.current_frame is None:
+            raise RuntimeError("no current cluster set")
+        return self.current_frame.page
+
+    def release(self) -> None:
+        """Drop the current-frame pin at end of execution."""
+        self.set_current_frame(None)

@@ -1,0 +1,157 @@
+"""Full-tree navigation: axis iteration that crosses cluster borders.
+
+This is the navigation style of the paper's *Simple* method (Sec. 5.1)
+and of fallback mode (Sec. 5.4.6): every border crossing immediately
+swizzles and — on a buffer miss — performs synchronous I/O.  The
+cost-sensitive operators exist to avoid exactly this code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.axes import Axis
+from repro.algebra.context import EvalContext
+from repro.algebra.steps import CompiledPredicate, CompiledStep
+from repro.model.tree import Kind
+from repro.storage.nav import iter_axis, iter_resume
+from repro.storage.nodeid import page_of, slot_of
+from repro.storage.record import BorderRecord
+
+
+def full_axis(
+    ctx: EvalContext, page_no: int, slot: int, axis: Axis, resumed: bool = False
+) -> Iterator[tuple[int, int]]:
+    """Apply ``axis`` from ``(page_no, slot)``, crossing borders eagerly.
+
+    Yields ``(page_no, slot)`` of core candidate nodes.  ``resumed`` means
+    the starting slot is an entry border record of a paused step (used by
+    fallback XStep on instances delivered from XSchedule's queue).
+
+    Implemented iteratively with an explicit stack: only the page being
+    navigated is pinned.  Descending across a border unfixes the source
+    page and returning to it re-fixes it (another buffer-hash lookup, and
+    another read if it was evicted meanwhile) — exactly the repeated
+    swizzling cost the Simple method pays and the cost-sensitive plans
+    avoid.  Continuation chains in wide child lists can be hundreds of
+    crossings long, so neither recursion depth nor pin count may grow
+    with them.
+    """
+    frame = ctx.buffer.fix(page_no)
+    nav = (
+        iter_resume(frame.page, slot, axis, ctx.charge_hop)
+        if resumed
+        else iter_axis(frame.page, slot, axis, ctx.charge_hop)
+    )
+    stack: list[tuple[int, object]] = [(page_no, nav)]
+    try:
+        while stack:
+            page_no, nav = stack[-1]
+            item = next(nav, None)  # type: ignore[call-overload]
+            if item is None:
+                stack.pop()
+                ctx.buffer.unfix(frame)
+                frame = None
+                if stack:
+                    frame = ctx.buffer.fix(stack[-1][0])
+                continue
+            is_border, s = item
+            if not is_border:
+                yield (page_no, s)
+                continue
+            record = frame.page.record(s)
+            assert isinstance(record, BorderRecord)
+            target = record.target()
+            target_page = page_of(target)
+            ctx.buffer.unfix(frame)
+            frame = ctx.buffer.fix(target_page)
+            stack.append(
+                (target_page, iter_resume(frame.page, slot_of(target), axis, ctx.charge_hop))
+            )
+    finally:
+        if frame is not None and stack:
+            ctx.buffer.unfix(frame)
+
+
+def string_value(ctx: EvalContext, page_no: int, slot: int) -> str:
+    """XPath string value of a node.
+
+    Text and attribute nodes carry their value; elements (and the
+    document root) concatenate the values of their text descendants in
+    document order — crossing borders, as ``full_axis`` does.
+    """
+    record = ctx.segment.page(page_no).record(slot)
+    if record.kind in (Kind.TEXT, Kind.ATTRIBUTE):
+        return record.value or ""
+    pieces: list[str] = []
+    for text_page, text_slot in full_axis(ctx, page_no, slot, Axis.DESCENDANT):
+        descendant = ctx.segment.page(text_page).record(text_slot)
+        if descendant.kind == Kind.TEXT:
+            pieces.append(descendant.value or "")
+    return "".join(pieces)
+
+
+def predicate_holds(
+    ctx: EvalContext, page_no: int, slot: int, predicate: CompiledPredicate
+) -> bool:
+    """Evaluate one compiled predicate at a context node."""
+    if predicate.op is None:
+        return exists_path(ctx, page_no, slot, predicate.steps)
+    if not predicate.steps:
+        # comparison against the context node itself (e.g. ``[. = "x"]``)
+        ctx.charge_test()
+        return predicate.matches_value(string_value(ctx, page_no, slot))
+    return _exists_matching(ctx, page_no, slot, predicate.steps, predicate)
+
+
+def _exists_matching(
+    ctx: EvalContext,
+    page_no: int,
+    slot: int,
+    steps: list[CompiledStep],
+    predicate: CompiledPredicate,
+) -> bool:
+    step = steps[0]
+    rest = steps[1:]
+    for candidate_page, candidate_slot in full_axis(ctx, page_no, slot, step.axis):
+        record = ctx.segment.page(candidate_page).record(candidate_slot)
+        ctx.charge_test()
+        if not step.test.matches(int(record.kind), record.tag):
+            continue
+        if any(
+            not predicate_holds(ctx, candidate_page, candidate_slot, nested)
+            for nested in step.predicates
+        ):
+            continue
+        if rest:
+            if _exists_matching(ctx, candidate_page, candidate_slot, rest, predicate):
+                return True
+        else:
+            ctx.charge_test()
+            if predicate.matches_value(string_value(ctx, candidate_page, candidate_slot)):
+                return True
+    return False
+
+
+def exists_path(ctx: EvalContext, page_no: int, slot: int, steps: list[CompiledStep]) -> bool:
+    """Existence check for a relative path (predicate evaluation).
+
+    Nested-loop with early exit; only used by the Simple plan.
+    """
+    if not steps:
+        return True
+    step = steps[0]
+    rest = steps[1:]
+    for candidate_page, candidate_slot in full_axis(ctx, page_no, slot, step.axis):
+        record = ctx.segment.page(candidate_page).record(candidate_slot)
+        ctx.charge_test()
+        if not step.test.matches(int(record.kind), record.tag):
+            continue
+        if any(
+            not predicate_holds(ctx, candidate_page, candidate_slot, nested)
+            for nested in step.predicates
+        ):
+            continue
+        if exists_path(ctx, candidate_page, candidate_slot, rest):
+            return True
+    return False

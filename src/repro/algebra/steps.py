@@ -1,0 +1,93 @@
+"""Compiled location steps: axes bound to tag-dictionary ids.
+
+The paper models node tests as subsets of the tag alphabet (Sec. 4.1).  A
+:class:`CompiledNodeTest` is exactly that, refined with node kinds so the
+XPath kind tests (``text()``, ``node()``) and the attribute axis's
+principal node kind resolve correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.axes import Axis
+from repro.model.tree import Kind
+
+_KIND_ELEMENT = int(Kind.ELEMENT)
+_KIND_TEXT = int(Kind.TEXT)
+_KIND_ATTRIBUTE = int(Kind.ATTRIBUTE)
+_KIND_DOCUMENT = int(Kind.DOCUMENT)
+
+#: Sentinel tag id for a name that does not occur in the document: the
+#: test can never match, but the query is still valid.
+UNKNOWN_TAG = -1
+
+
+@dataclass(frozen=True)
+class CompiledNodeTest:
+    """Kind/tag membership test on candidate nodes."""
+
+    kinds: frozenset[int]
+    tag: int | None = None  #: required tag id; None = any tag
+
+    def matches(self, kind: int, tag: int) -> bool:
+        return kind in self.kinds and (self.tag is None or tag == self.tag)
+
+    @property
+    def is_node_test(self) -> bool:
+        """True if this is ``node()`` on a non-attribute axis: any node matches."""
+        return self.tag is None and len(self.kinds) >= 3
+
+    @staticmethod
+    def compile(test_kind: str, axis: Axis, tag_id: int | None) -> "CompiledNodeTest":
+        """Build a compiled test from an AST node test on ``axis``."""
+        principal = (
+            frozenset({_KIND_ATTRIBUTE})
+            if axis is Axis.ATTRIBUTE
+            else frozenset({_KIND_ELEMENT})
+        )
+        if test_kind == "name":
+            return CompiledNodeTest(principal, UNKNOWN_TAG if tag_id is None else tag_id)
+        if test_kind == "wildcard":
+            return CompiledNodeTest(principal)
+        if test_kind == "text":
+            kinds = frozenset() if axis is Axis.ATTRIBUTE else frozenset({_KIND_TEXT})
+            return CompiledNodeTest(kinds)
+        if test_kind == "node":
+            if axis is Axis.ATTRIBUTE:
+                return CompiledNodeTest(frozenset({_KIND_ATTRIBUTE}))
+            return CompiledNodeTest(
+                frozenset({_KIND_ELEMENT, _KIND_TEXT, _KIND_DOCUMENT})
+            )
+        if test_kind == "comment":
+            return CompiledNodeTest(frozenset())  # comments are not stored
+        raise ValueError(f"unknown node test kind {test_kind!r}")
+
+
+@dataclass
+class CompiledPredicate:
+    """A compiled step predicate (Simple plan only).
+
+    ``op is None``: existence of the relative path.  Otherwise a general
+    comparison in XPath's node-set semantics: some node reached by the
+    path has a string value satisfying ``value <op> literal``.
+    """
+
+    steps: list["CompiledStep"]
+    op: str | None = None  #: None (existence), "=" or "!="
+    literal: str | None = None
+
+    def matches_value(self, text: str) -> bool:
+        assert self.op is not None and self.literal is not None
+        return (text == self.literal) if self.op == "=" else (text != self.literal)
+
+
+@dataclass
+class CompiledStep:
+    """One location step ready for execution."""
+
+    axis: Axis
+    test: CompiledNodeTest
+    #: Nested predicates; only the Simple plan evaluates these (the paper
+    #: defers nested paths — "more than two incomplete ends").
+    predicates: list[CompiledPredicate] = field(default_factory=list)

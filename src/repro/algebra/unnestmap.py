@@ -1,0 +1,67 @@
+"""Unnest-Map: the Simple method's step operator (paper Sec. 5.1).
+
+One Unnest-Map per location step; each reads complete path instances and
+extends them by one step using *full-tree* navigation — every border
+crossing pays a swizzle and, on a miss, synchronous I/O immediately.
+This is the baseline the cost-sensitive plans are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.base import Operator
+from repro.algebra.context import EvalContext
+from repro.algebra.fullnav import full_axis, predicate_holds
+from repro.algebra.pathinstance import PathInstance
+from repro.algebra.steps import CompiledStep
+
+
+class UnnestMap(Operator):
+    """Extend complete path instances by one location step."""
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        producer: Operator,
+        step_index: int,
+        step: CompiledStep,
+    ) -> None:
+        super().__init__(ctx)
+        self.producer = producer
+        self.step_index = step_index
+        self.step = step
+
+    def open(self) -> None:
+        self.producer.open()
+        super().open()
+
+    def close(self) -> None:
+        super().close()
+        self.producer.close()
+
+    def _produce(self) -> Iterator[PathInstance]:
+        ctx = self.ctx
+        step = self.step
+        for p in self.producer:
+            assert p.page_no is not None and not p.is_border
+            for page_no, slot in full_axis(ctx, p.page_no, p.slot, step.axis):
+                record = ctx.segment.page(page_no).record(slot)
+                ctx.charge_test()
+                if not step.test.matches(int(record.kind), record.tag):
+                    continue
+                if any(
+                    not predicate_holds(ctx, page_no, slot, predicate)
+                    for predicate in step.predicates
+                ):
+                    continue
+                ctx.charge_instance()
+                yield PathInstance(
+                    s_l=p.s_l,
+                    n_l=p.n_l,
+                    left_open=False,
+                    s_r=self.step_index,
+                    slot=slot,
+                    is_border=False,
+                    page_no=page_no,
+                )

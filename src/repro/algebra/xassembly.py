@@ -1,0 +1,230 @@
+"""XAssembly: result filtering, dedup, and speculative merging.
+
+Implements both the restricted XAssembly^R (paper Sec. 5.3.3) and the
+general XAssembly (Sec. 5.4.5): the general behaviour degenerates to the
+restricted one when no left-incomplete instances arrive.
+
+Execution state (paper's terms):
+
+* ``R`` — set of *reachable right ends*: keys ``(step, NodeID)``.  For a
+  paused crossing the NodeID is the junction (the entry border record on
+  the target side, i.e. ``target(N_R)``); for a full result it is the
+  result node itself — which is how final duplicates are eliminated for
+  free.
+* ``S`` — left-incomplete (speculative) instances, keyed by their left
+  junction ``(S_L, N_L)``, waiting for that junction to become reachable.
+
+When a key enters R, all S-instances parked under it activate, possibly
+cascading (a speculative fragment can end at yet another border).  With
+an XSchedule input, proving a junction also enqueues a visit of the
+junction's cluster; with an XScan input the scan visits every cluster
+anyway, so no notification is needed (``schedule is None``).
+
+The ``//``-prefix optimisation (Sec. 5.4.5.4) treats every key of step 1
+as present in R without storing it; it is only sound when all clusters
+are guaranteed to be visited, i.e. with an XScan input.
+
+If ``|S|`` exceeds the memory limit, the plan trips into *fallback mode*
+(Sec. 5.4.6): S is discarded, arriving left-incomplete instances are
+dropped (the complete re-evaluation regenerates their results), and only
+R survives as the duplicate filter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.algebra.base import Operator
+from repro.algebra.context import EvalContext
+from repro.algebra.pathinstance import PathInstance
+from repro.errors import PlanError
+from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
+from repro.storage.record import BorderRecord
+
+
+class _Stored:
+    """An S-resident instance: right end normalized to NodeIDs."""
+
+    __slots__ = ("s_r", "right", "incomplete")
+
+    def __init__(self, s_r: int, right: NodeID, incomplete: bool) -> None:
+        self.s_r = s_r
+        #: junction NodeID (incomplete) or result-node NodeID (complete)
+        self.right = right
+        self.incomplete = incomplete
+
+
+class XAssembly(Operator):
+    """Topmost operator of a cost-sensitive path plan."""
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        producer: Operator,
+        path_len: int,
+        schedule=None,
+        descendant_root_opt: bool = False,
+    ) -> None:
+        super().__init__(ctx)
+        self.producer = producer
+        self.path_len = path_len
+        #: the associated XSchedule, or None when the input is an XScan
+        self.schedule = schedule
+        #: step-1 keys are implicitly reachable (``//`` prefix + scan input)
+        self.descendant_root_opt = descendant_root_opt and path_len > 1
+        self._r: set[tuple[int, NodeID]] = set()
+        self._s: dict[tuple[int, NodeID], list[_Stored]] = {}
+        self._s_size = 0
+        self._ready: deque[_Stored] = deque()
+
+    def open(self) -> None:
+        self.producer.open()
+        super().open()
+
+    def close(self) -> None:
+        super().close()
+        self.producer.close()
+
+    # ------------------------------------------------------------ R helpers
+
+    def _r_contains(self, key: tuple[int, NodeID]) -> bool:
+        self.ctx.charge_set_op()
+        if self.descendant_root_opt and key[0] == 1:
+            return True
+        return key in self._r
+
+    def _r_add(self, key: tuple[int, NodeID]) -> None:
+        if self.descendant_root_opt and key[0] == 1:
+            return
+        self._r.add(key)
+
+    # -------------------------------------------------------------- pipeline
+
+    def _produce(self) -> Iterator[PathInstance]:
+        ctx = self.ctx
+        while True:
+            while self._ready:
+                stored = self._ready.popleft()
+                result = self._activate(stored)
+                if result is not None:
+                    yield self._result_instance(result)
+            y = self.producer.next()
+            if y is None:
+                return
+            result = self._intake(y)
+            if result is not None:
+                yield self._result_instance(result)
+
+    def _result_instance(self, nid: NodeID) -> PathInstance:
+        self.ctx.charge_instance()
+        return PathInstance(
+            s_l=0,
+            n_l=None,
+            left_open=False,
+            s_r=self.path_len,
+            slot=slot_of(nid),
+            is_border=False,
+            page_no=page_of(nid),
+        )
+
+    # ---------------------------------------------------------------- intake
+
+    def _intake(self, y: PathInstance) -> NodeID | None:
+        ctx = self.ctx
+        assert y.page_no is not None
+        if y.is_border:
+            border = ctx.segment.page(y.page_no).record(y.slot)
+            assert isinstance(border, BorderRecord)
+            junction = border.target()
+            if y.left_open:
+                return self._store(y, _Stored(y.s_r, junction, incomplete=True))
+            self._prove(y.s_r, junction, origin=(y.s_l, y.n_l))
+            return None
+        nid = make_nodeid(y.page_no, y.slot)
+        if y.left_open:
+            return self._store(y, _Stored(y.s_r, nid, incomplete=False))
+        if y.s_r != self.path_len:
+            raise PlanError(
+                f"XAssembly received a complete non-full instance (s_r={y.s_r})"
+            )
+        return self._final(nid)
+
+    def _store(self, y: PathInstance, stored: _Stored) -> NodeID | None:
+        """Handle a left-incomplete instance: activate now or park in S."""
+        if self.ctx.fallback:
+            # complete re-evaluation covers all speculative results
+            return None
+        assert y.n_l is not None
+        left_key = (y.s_l, y.n_l)
+        if self._r_contains(left_key):
+            self.ctx.stats.merges += 1
+            return self._activate(stored)
+        self.ctx.charge_set_op()
+        self._s.setdefault(left_key, []).append(stored)
+        self._s_size += 1
+        limit = self.ctx.options.memory_limit
+        if limit is not None and self._s_size > limit:
+            self._enter_fallback()
+        return None
+
+    # ------------------------------------------------------------ activation
+
+    def _activate(self, stored: _Stored) -> NodeID | None:
+        """Process an instance whose left end is known reachable."""
+        if stored.incomplete:
+            self._prove(stored.s_r, stored.right, origin=(0, None))
+            return None
+        if stored.s_r == self.path_len:
+            return self._final(stored.right)
+        raise PlanError(
+            f"complete non-full instance in S (s_r={stored.s_r}, len={self.path_len})"
+        )
+
+    def _final(self, nid: NodeID) -> NodeID | None:
+        """Deduplicate and emit a full path's result node."""
+        key = (self.path_len, nid)
+        if self._r_contains(key):
+            self.ctx.stats.duplicates_suppressed += 1
+            return None
+        self._r_add(key)
+        return nid
+
+    def _prove(self, step: int, junction: NodeID, origin: tuple[int, NodeID | None]) -> None:
+        """Record that ``junction`` is reachable after ``step`` steps.
+
+        Adds the key to R, schedules a visit of the junction's cluster
+        (XSchedule input only), and activates any S-instances waiting on
+        the key.
+        """
+        key = (step, junction)
+        if self._r_contains(key):
+            self.ctx.stats.duplicates_suppressed += 1
+            return
+        self._r_add(key)
+        if self.schedule is not None:
+            origin_step, origin_node = origin
+            self.schedule.add_from_assembly(
+                s_l=origin_step,
+                n_l=origin_node,
+                s_r=step,
+                target=junction,
+            )
+        pending = self._s.pop(key, None)
+        if pending:
+            self.ctx.stats.merges += len(pending)
+            self._s_size -= len(pending)
+            self._ready.extend(pending)
+
+    # -------------------------------------------------------------- fallback
+
+    def _enter_fallback(self) -> None:
+        """Memory limit exceeded: revert to the Simple method (Sec. 5.4.6)."""
+        ctx = self.ctx
+        ctx.fallback = True
+        ctx.stats.fallbacks += 1
+        self._s.clear()
+        self._s_size = 0
+        self._ready.clear()
+        if self.schedule is not None:
+            self.schedule.enter_fallback()

@@ -1,0 +1,225 @@
+"""XSchedule: asynchronous-I/O cluster scheduling (paper Sec. 5.3.4/5.4.4).
+
+All physical access for a path is funnelled through this operator.  Its
+queue Q holds unprocessed path instances keyed by the cluster of their
+right end; cluster loads are issued to the asynchronous I/O subsystem as
+soon as an instance enters Q, so the lower layers (and the simulated
+on-disk controller) can reorder many outstanding requests.
+
+Per the paper's ``next`` method, each call:
+
+1. replenishes Q from the producer until at least ``k`` entries exist
+   (default 100);
+2. submits cluster requests for new entries;
+3. returns an instance from the *current cluster* if one remains,
+   otherwise blocks on the next I/O completion and switches clusters.
+
+With ``speculative`` set (Sec. 5.4.4) the operator generates
+left-incomplete path instances on the first visit of each cluster — the
+same speculation as XScan — so a cluster never needs to be visited twice:
+later crossings into a visited cluster are *parked* instead of enqueued,
+because their continuation already sits in XAssembly's S.  (Parked
+entries are re-enqueued if the plan trips into fallback mode, where S is
+discarded.)
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator
+
+from repro.algebra.base import Operator
+from repro.algebra.context import EvalContext
+from repro.algebra.pathinstance import PathInstance
+from repro.algebra.steps import CompiledStep
+from repro.storage.nav import speculative_entries
+from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
+
+
+class _QEntry:
+    """One unprocessed path instance parked in Q (unswizzled)."""
+
+    __slots__ = ("s_l", "n_l", "left_open", "s_r", "target", "resumed")
+
+    def __init__(
+        self,
+        s_l: int,
+        n_l: NodeID | None,
+        left_open: bool,
+        s_r: int,
+        target: NodeID,
+        resumed: bool,
+    ) -> None:
+        self.s_l = s_l
+        self.n_l = n_l
+        self.left_open = left_open
+        self.s_r = s_r
+        self.target = target
+        self.resumed = resumed
+
+
+class XSchedule(Operator):
+    """The I/O-performing operator based on asynchronous I/O."""
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        producer: Operator,
+        steps: list[CompiledStep],
+        speculative: bool | None = None,
+    ) -> None:
+        super().__init__(ctx)
+        self.producer = producer
+        self.steps = steps
+        self.speculative = (
+            ctx.options.speculative if speculative is None else speculative
+        )
+        self.k = ctx.options.k_min_queue
+        self._q: dict[int, list[tuple[int, int, _QEntry]]] = {}
+        self._qcount = 0
+        self._seq = 0
+        self._visited: set[int] = set()
+        self._parked: list[_QEntry] = []
+        self._current: int | None = None
+
+    def open(self) -> None:
+        self.producer.open()
+        super().open()
+
+    def close(self) -> None:
+        super().close()
+        self.producer.close()
+
+    # ---------------------------------------------------------------- queue
+
+    def add_from_assembly(
+        self, s_l: int, n_l: NodeID | None, s_r: int, target: NodeID
+    ) -> None:
+        """XAssembly notification: a new inter-cluster edge to follow."""
+        self._enqueue(_QEntry(s_l, n_l, False, s_r, target, resumed=True))
+
+    def enter_fallback(self) -> None:
+        """Fallback (Sec. 5.4.6): stop speculating, revive parked entries."""
+        parked = self._parked
+        self._parked = []
+        for entry in parked:
+            self._enqueue(entry)
+
+    def _enqueue(self, entry: _QEntry) -> None:
+        ctx = self.ctx
+        cluster = page_of(entry.target)
+        if (
+            entry.resumed
+            and self.speculative
+            and not ctx.fallback
+            and cluster in self._visited
+        ):
+            # the cluster's speculative instances already cover this entry
+            self._parked.append(entry)
+            return
+        ctx.charge_queue_op()
+        insort(self._q.setdefault(cluster, []), (entry.s_r, self._seq, entry))
+        self._seq += 1
+        self._qcount += 1
+        if not ctx.buffer.is_resident(cluster):
+            ctx.iosys.request(cluster)
+
+    # -------------------------------------------------------------- pipeline
+
+    def _produce(self) -> Iterator[PathInstance]:
+        ctx = self.ctx
+        exhausted = False
+        while True:
+            while not exhausted and self._qcount < self.k:
+                y = self.producer.next()
+                if y is None:
+                    exhausted = True
+                    break
+                assert y.page_no is not None
+                self._enqueue(
+                    _QEntry(
+                        y.s_l,
+                        y.n_l,
+                        y.left_open,
+                        y.s_r,
+                        make_nodeid(y.page_no, y.slot),
+                        resumed=False,
+                    )
+                )
+            if self._qcount == 0:
+                if exhausted:
+                    return
+                continue
+            cluster = self._current
+            if cluster is None or cluster not in self._q:
+                cluster = self._pick_cluster()
+            entries = self._q[cluster]
+            _, _, entry = entries.pop(0)
+            if not entries:
+                del self._q[cluster]
+            self._qcount -= 1
+            ctx.charge_queue_op()
+
+            frame = ctx.buffer.try_fix_resident(cluster)
+            if frame is None:
+                # evicted (or never loaded) since scheduling: pay a
+                # synchronous read
+                frame = ctx.buffer.fix(cluster)
+            ctx.set_current_frame(frame)
+            if cluster != self._current:
+                ctx.stats.clusters_visited += 1
+            self._current = cluster
+
+            first_visit = cluster not in self._visited
+            self._visited.add(cluster)
+            if first_visit and self.speculative and not ctx.fallback:
+                yield from self._speculate(frame.page)
+
+            ctx.charge_instance()
+            yield PathInstance(
+                s_l=entry.s_l,
+                n_l=entry.n_l,
+                left_open=entry.left_open,
+                s_r=entry.s_r,
+                slot=slot_of(entry.target),
+                is_border=entry.resumed,
+                resumed=entry.resumed,
+                page_no=cluster,
+            )
+
+    def _pick_cluster(self) -> int:
+        """Next cluster to process: prefer buffered, else await I/O."""
+        ctx = self.ctx
+        for cluster in self._q:
+            if ctx.buffer.is_resident(cluster):
+                return cluster
+        while True:
+            page = ctx.iosys.get_completion()
+            if page is None:
+                # nothing in flight (entries whose pages were resident at
+                # enqueue time but have been evicted): fall back to any
+                return next(iter(self._q))
+            ctx.buffer.admit_completed(page)
+            if page in self._q:
+                return page
+            # completion for a cluster whose entries were already consumed
+            # via buffer residency; keep the frame and wait on
+
+    def _speculate(self, page) -> Iterator[PathInstance]:
+        """Left-incomplete instances for every entry border of ``page``."""
+        ctx = self.ctx
+        page_no = page.page_no
+        for step_index, step in enumerate(self.steps):
+            for border_slot in speculative_entries(page, step.axis):
+                ctx.charge_instance()
+                ctx.stats.speculative_instances += 1
+                yield PathInstance(
+                    s_l=step_index,
+                    n_l=make_nodeid(page_no, border_slot),
+                    left_open=True,
+                    s_r=step_index,
+                    slot=border_slot,
+                    is_border=True,
+                    resumed=True,
+                    page_no=page_no,
+                )

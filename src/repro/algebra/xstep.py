@@ -1,0 +1,138 @@
+"""XStep: intra-cluster step evaluation (paper Sec. 5.3.2).
+
+XStep performs all of the *cheap* navigation in cost-sensitive plans.
+It extends applicable path instances by one step using intra-cluster
+edges only; a border encountered during enumeration is returned as a
+right-incomplete path instance instead of being crossed.  Non-applicable
+instances pass through unchanged.
+
+In fallback mode (Sec. 5.4.6) XStep behaves as a plain Unnest-Map,
+crossing borders eagerly with full-tree navigation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.algebra.base import Operator
+from repro.algebra.context import EvalContext
+from repro.algebra.fullnav import full_axis
+from repro.algebra.pathinstance import PathInstance
+from repro.algebra.steps import CompiledStep
+from repro.errors import PlanError
+from repro.storage.nav import iter_axis, iter_resume
+
+
+class XStep(Operator):
+    """Extend path instances by step ``step_index`` without leaving the cluster."""
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        producer: Operator,
+        step_index: int,
+        step: CompiledStep,
+    ) -> None:
+        super().__init__(ctx)
+        if step.predicates:
+            raise PlanError(
+                "XStep does not evaluate nested predicates "
+                "(paper: instances with more than two incomplete ends are future work)"
+            )
+        self.producer = producer
+        self.step_index = step_index
+        self.step = step
+
+    def open(self) -> None:
+        self.producer.open()
+        super().open()
+
+    def close(self) -> None:
+        super().close()
+        self.producer.close()
+
+    # ------------------------------------------------------------- pipeline
+
+    def _applicable(self, p: PathInstance) -> bool:
+        if p.s_r != self.step_index - 1:
+            return False
+        # a paused (right-incomplete) instance is only applicable when the
+        # I/O operator re-delivered it at its entry border (resumed)
+        return not p.is_border or p.resumed
+
+    def _produce(self) -> Iterator[PathInstance]:
+        for p in self.producer:
+            if not self._applicable(p):
+                yield p
+                continue
+            if self.ctx.fallback:
+                yield from self._extend_full(p)
+            else:
+                yield from self._extend_intra(p)
+
+    def _extend_intra(self, p: PathInstance) -> Iterator[PathInstance]:
+        ctx = self.ctx
+        page = self._pinned_page(p)
+        if p.resumed:
+            nav = iter_resume(page, p.slot, self.step.axis, ctx.charge_hop)
+        else:
+            nav = iter_axis(page, p.slot, self.step.axis, ctx.charge_hop)
+        test = self.step.test
+        for is_border, slot in nav:
+            if is_border:
+                ctx.stats.border_crossings_deferred += 1
+                ctx.charge_instance()
+                yield PathInstance(
+                    s_l=p.s_l,
+                    n_l=p.n_l,
+                    left_open=p.left_open,
+                    s_r=self.step_index - 1,
+                    slot=slot,
+                    is_border=True,
+                    page_no=page.page_no,
+                )
+            else:
+                record = page.record(slot)
+                ctx.charge_test()
+                if test.matches(int(record.kind), record.tag):
+                    ctx.charge_instance()
+                    yield PathInstance(
+                        s_l=p.s_l,
+                        n_l=p.n_l,
+                        left_open=p.left_open,
+                        s_r=self.step_index,
+                        slot=slot,
+                        is_border=False,
+                        page_no=page.page_no,
+                    )
+
+    def _extend_full(self, p: PathInstance) -> Iterator[PathInstance]:
+        """Fallback: unrestricted navigation, as an Unnest-Map would do."""
+        ctx = self.ctx
+        assert p.page_no is not None
+        test = self.step.test
+        for page_no, slot in full_axis(ctx, p.page_no, p.slot, self.step.axis, resumed=p.resumed):
+            record = ctx.segment.page(page_no).record(slot)
+            ctx.charge_test()
+            if test.matches(int(record.kind), record.tag):
+                ctx.charge_instance()
+                yield PathInstance(
+                    s_l=p.s_l,
+                    n_l=p.n_l,
+                    left_open=p.left_open,
+                    s_r=self.step_index,
+                    slot=slot,
+                    is_border=False,
+                    page_no=page_no,
+                )
+
+    def _pinned_page(self, p: PathInstance):
+        """The current cluster's page; instances in flight must live on it."""
+        frame = self.ctx.current_frame
+        if frame is None or (p.page_no is not None and p.page_no != frame.page.page_no):
+            raise PlanError(
+                f"XStep {self.step_index}: instance references page {p.page_no}, "
+                f"current cluster is "
+                f"{frame.page.page_no if frame else None}"
+            )
+        return frame.page

@@ -1,0 +1,289 @@
+"""High-level engine facade.
+
+:class:`Database` ties the layers together: a document store on a
+simulated disk, a buffer manager, the XPath compiler and the physical
+algebra.  Typical use::
+
+    from repro import Database
+
+    db = Database(buffer_pages=256)
+    db.load_xml(open("doc.xml").read(), name="doc")
+    result = db.execute("count(/site/regions//item)", doc="doc", plan="xschedule")
+    print(result.value, result.total_time, result.stats.pages_read)
+
+Every ``execute`` runs cold by default — fresh clock, empty buffer, disk
+head at page 0 — matching the paper's measurement discipline (O_DIRECT,
+cold caches, Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.context import EvalContext, EvalOptions
+from repro.errors import ReproError
+from repro.model.builder import TreeBuilder
+from repro.model.tree import Kind, LogicalTree
+from repro.sim.clock import SimClock
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.disk import DiskDevice, DiskGeometry, SchedulingPolicy
+from repro.sim.iosys import AsyncIOSystem
+from repro.sim.stats import Stats
+from repro.storage.buffer import BufferManager
+from repro.storage.importer import ImportOptions
+from repro.storage.nodeid import NodeID, page_of, slot_of
+from repro.storage.record import CoreRecord
+from repro.storage.store import DocumentStore, StoredDocument
+from repro.xml.parser import parse_into
+from repro.xpath.compile import CompiledQuery, PlanKind, compile_query
+
+
+@dataclass
+class Result:
+    """Outcome of one query execution with full physical accounting."""
+
+    query: str
+    doc: str
+    plan_kinds: list[PlanKind]
+    value: float | None  #: numeric result (count/arithmetic queries)
+    nodes: list[NodeID] | None  #: result nodes in document order (path queries)
+    total_time: float  #: simulated wall-clock seconds
+    cpu_time: float  #: simulated CPU seconds (the paper's Table 3 "CPU")
+    io_wait: float  #: simulated seconds blocked on the disk
+    stats: Stats
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.cpu_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def node_count(self) -> int:
+        if self.nodes is not None:
+            return len(self.nodes)
+        raise ReproError("node_count on a numeric result")
+
+    def __repr__(self) -> str:
+        what = f"value={self.value}" if self.value is not None else f"nodes={len(self.nodes or [])}"
+        plans = "+".join(k.value for k in self.plan_kinds)
+        return (
+            f"Result({self.query!r} [{plans}] {what}, total={self.total_time:.4f}s, "
+            f"cpu={self.cpu_time:.4f}s)"
+        )
+
+
+class Database:
+    """A single-segment XML database over a simulated disk."""
+
+    def __init__(
+        self,
+        page_size: int = 8192,
+        buffer_pages: int = 256,
+        geometry: DiskGeometry | None = None,
+        disk_policy: SchedulingPolicy = SchedulingPolicy.SSTF,
+        costs: CostModel | None = None,
+        eval_options: EvalOptions | None = None,
+    ) -> None:
+        self.geometry = geometry or DiskGeometry(page_size=page_size)
+        if self.geometry.page_size != page_size:
+            raise ReproError("geometry.page_size must match the database page size")
+        self.store = DocumentStore(page_size)
+        self.buffer_pages = buffer_pages
+        self.disk_policy = disk_policy
+        self.costs = costs or DEFAULT_COST_MODEL
+        self.eval_options = eval_options or EvalOptions()
+
+    # ------------------------------------------------------------- loading
+
+    @property
+    def tags(self):
+        return self.store.tags
+
+    def builder(self) -> TreeBuilder:
+        """A tree builder bound to this database's tag dictionary."""
+        return TreeBuilder(self.store.tags)
+
+    def load_xml(
+        self,
+        text: str,
+        name: str = "default",
+        import_options: ImportOptions | None = None,
+    ) -> StoredDocument:
+        """Parse and import an XML document."""
+        builder = self.builder()
+        parse_into(text, builder)
+        return self.add_tree(builder.finish(), name, import_options)
+
+    def add_tree(
+        self,
+        tree: LogicalTree,
+        name: str = "default",
+        import_options: ImportOptions | None = None,
+    ) -> StoredDocument:
+        """Import an already-built logical tree."""
+        opts = import_options or ImportOptions(page_size=self.store.segment.page_size)
+        return self.store.import_document(tree, name, opts)
+
+    def document(self, name: str = "default") -> StoredDocument:
+        return self.store.document(name)
+
+    # ------------------------------------------------------------ execution
+
+    def prepare(
+        self,
+        query: str,
+        doc: str = "default",
+        plan: PlanKind | str = PlanKind.AUTO,
+        options: EvalOptions | None = None,
+    ) -> CompiledQuery:
+        """Compile a query without executing it."""
+        return compile_query(
+            query,
+            self.store.document(doc),
+            self.store.tags,
+            plan=plan,
+            options=options or self.eval_options,
+            geometry=self.geometry,
+        )
+
+    def make_context(self, options: EvalOptions | None = None) -> EvalContext:
+        """A fresh cold execution context (new clock, empty buffer)."""
+        stats = Stats()
+        clock = SimClock()
+        disk = DiskDevice(self.geometry, self.disk_policy, stats)
+        iosys = AsyncIOSystem(disk, clock, self.costs, stats)
+        buffer = BufferManager(
+            self.store.segment, iosys, clock, self.costs, self.buffer_pages, stats
+        )
+        return EvalContext(
+            self.store.segment,
+            buffer,
+            iosys,
+            clock,
+            self.costs,
+            stats,
+            options or self.eval_options,
+            tags=self.store.tags,
+        )
+
+    def execute(
+        self,
+        query: str,
+        doc: str = "default",
+        plan: PlanKind | str = PlanKind.AUTO,
+        options: EvalOptions | None = None,
+        context: EvalContext | None = None,
+    ) -> Result:
+        """Compile and run ``query``; returns a :class:`Result`.
+
+        Pass an explicit ``context`` to run warm (reusing its buffer and
+        clock); by default every call is a cold run.
+        """
+        compiled = self.prepare(query, doc, plan, options)
+        ctx = context or self.make_context(options)
+        mark = ctx.clock.checkpoint()
+        value, nodes = compiled.execute(ctx)
+        total, cpu, io_wait = ctx.clock.since(mark)
+        return Result(
+            query=query,
+            doc=doc,
+            plan_kinds=compiled.plan_kinds,
+            value=value,
+            nodes=nodes,
+            total_time=total,
+            cpu_time=cpu,
+            io_wait=io_wait,
+            stats=ctx.stats,
+        )
+
+    # --------------------------------------------------------- persistence
+
+    def save(self, path: str) -> None:
+        """Persist the store (all documents) to a binary file."""
+        from repro.storage.persist import save_store
+
+        save_store(self.store, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        buffer_pages: int = 256,
+        geometry: DiskGeometry | None = None,
+        disk_policy: SchedulingPolicy = SchedulingPolicy.SSTF,
+        costs: CostModel | None = None,
+        eval_options: EvalOptions | None = None,
+        collect_statistics: bool = True,
+    ) -> "Database":
+        """Open a database from a file written by :meth:`save`.
+
+        Statistics (for the AUTO plan chooser) are recollected from the
+        stored records unless ``collect_statistics`` is False.
+        """
+        from repro.storage.persist import load_store
+        from repro.storage.store import recollect_statistics
+
+        store = load_store(path)
+        db = cls.__new__(cls)
+        db.store = store
+        db.geometry = geometry or DiskGeometry(page_size=store.segment.page_size)
+        if db.geometry.page_size != store.segment.page_size:
+            raise ReproError("geometry.page_size must match the stored page size")
+        db.buffer_pages = buffer_pages
+        db.disk_policy = disk_policy
+        db.costs = costs or DEFAULT_COST_MODEL
+        db.eval_options = eval_options or EvalOptions()
+        if collect_statistics:
+            for doc in store.documents.values():
+                recollect_statistics(store, doc)
+        return db
+
+    # -------------------------------------------------------------- export
+
+    def export_xml(
+        self,
+        doc: str = "default",
+        method: str = "scan",
+        options: EvalOptions | None = None,
+    ) -> tuple[str, Result]:
+        """Export a document to XML text with full cost accounting.
+
+        ``method="scan"`` reads every page once in physical order and
+        stitches per-cluster text fragments (the paper's outlook applied
+        to export); ``method="navigate"`` traverses in document order
+        with eager border crossing (the Simple method's pattern).
+        Returns ``(xml_text, result)`` where the result carries the
+        simulated timing and counters of the export.
+        """
+        from repro.storage.export import export_navigate, export_scan
+
+        document = self.store.document(doc)
+        ctx = self.make_context(options)
+        mark = ctx.clock.checkpoint()
+        if method == "scan":
+            text = export_scan(ctx, document)
+        elif method == "navigate":
+            text = export_navigate(ctx, document)
+        else:
+            raise ReproError(f"unknown export method {method!r}")
+        total, cpu, io_wait = ctx.clock.since(mark)
+        result = Result(
+            query=f"export[{method}]",
+            doc=doc,
+            plan_kinds=[],
+            value=None,
+            nodes=None,
+            total_time=total,
+            cpu_time=cpu,
+            io_wait=io_wait,
+            stats=ctx.stats,
+        )
+        return text, result
+
+    # ----------------------------------------------------------- inspection
+
+    def node_info(self, nid: NodeID) -> tuple[str, str, str | None]:
+        """(kind-name, tag-name, value) of a result node — no cost charged."""
+        record = self.store.segment.page(page_of(nid)).record(slot_of(nid))
+        if not isinstance(record, CoreRecord):
+            raise ReproError(f"NodeID {nid} does not reference a core record")
+        return (record.kind.name, self.store.tags.name_of(record.tag), record.value)

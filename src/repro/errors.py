@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad NodeID, full page, ...)."""
+
+
+class BufferError_(StorageError):
+    """The buffer manager could not satisfy a fix request.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`BufferError`.
+    """
+
+
+class XmlSyntaxError(ReproError):
+    """The XML parser rejected its input document."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class XPathSyntaxError(ReproError):
+    """The XPath parser rejected the query string."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class UnsupportedQueryError(ReproError):
+    """The query parses but uses features outside the supported subset."""
+
+
+class PlanError(ReproError):
+    """A physical plan was mis-assembled or used out of protocol."""

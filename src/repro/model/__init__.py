@@ -1,0 +1,21 @@
+"""Logical document model: labeled, ordered trees (paper Sec. 3.1).
+
+The paper models XML documents as labeled ordered trees over a tag
+alphabet.  We additionally keep text and attribute nodes (the paper omits
+them "for brevity" but XMark query Q15 ends in ``text()``, so a faithful
+reproduction needs them).
+"""
+
+from repro.model.tags import DOCUMENT_TAG, TEXT_TAG, TagDictionary
+from repro.model.tree import Kind, LogicalTree
+from repro.model.builder import TreeBuilder, tree_from_nested
+
+__all__ = [
+    "TagDictionary",
+    "DOCUMENT_TAG",
+    "TEXT_TAG",
+    "Kind",
+    "LogicalTree",
+    "TreeBuilder",
+    "tree_from_nested",
+]

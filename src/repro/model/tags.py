@@ -1,0 +1,57 @@
+"""Tag dictionary: interning of element/attribute names to small integers.
+
+Node tests in the paper are subsets of the tag alphabet Sigma; representing
+tags as dense integers makes a node test a set-of-int membership check and
+keeps the array-backed tree compact.
+
+Two pseudo-tags are pre-interned so that *every* node carries a tag id:
+``#document`` for the document root and ``#text`` for text nodes.
+"""
+
+from __future__ import annotations
+
+DOCUMENT_TAG_NAME = "#document"
+TEXT_TAG_NAME = "#text"
+
+#: Tag id of the document root pseudo-tag (always 0).
+DOCUMENT_TAG = 0
+#: Tag id of the text-node pseudo-tag (always 1).
+TEXT_TAG = 1
+
+
+class TagDictionary:
+    """Bidirectional mapping between tag names and dense integer ids."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, int] = {}
+        self._by_id: list[str] = []
+        # Reserved pseudo-tags occupy ids 0 and 1.
+        assert self.intern(DOCUMENT_TAG_NAME) == DOCUMENT_TAG
+        assert self.intern(TEXT_TAG_NAME) == TEXT_TAG
+
+    def intern(self, name: str) -> int:
+        """Return the id for ``name``, allocating a new one if needed."""
+        tag = self._by_name.get(name)
+        if tag is None:
+            tag = len(self._by_id)
+            self._by_name[name] = tag
+            self._by_id.append(name)
+        return tag
+
+    def lookup(self, name: str) -> int | None:
+        """Return the id for ``name`` or None if it was never interned."""
+        return self._by_name.get(name)
+
+    def name_of(self, tag: int) -> str:
+        """Return the name for a tag id."""
+        return self._by_id[tag]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        """All interned names, in id order (including pseudo-tags)."""
+        return list(self._by_id)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+The paper measures wall-clock and CPU time on a real machine with a SCSI
+disk accessed through ``O_DIRECT``.  This package replaces that physical
+substrate with a deterministic discrete-event model:
+
+* :mod:`repro.sim.clock` — the simulated CPU timeline.
+* :mod:`repro.sim.costmodel` — per-primitive CPU cost constants.
+* :mod:`repro.sim.disk` — a disk device with a seek-distance cost curve,
+  rotational latency, sequential-transfer detection and an on-controller
+  request queue that can reorder asynchronous requests (FIFO / SSTF /
+  C-LOOK), standing in for SCSI tagged command queuing.
+* :mod:`repro.sim.iosys` — the asynchronous I/O subsystem interface the
+  paper assumes in Sec. 3.7 (issue requests without waiting; retrieve
+  completions separately).
+* :mod:`repro.sim.stats` — counters and timing breakdowns reported by the
+  benchmarks.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costmodel import CostModel
+from repro.sim.disk import DiskDevice, DiskGeometry, SchedulingPolicy
+from repro.sim.iosys import AsyncIOSystem
+from repro.sim.stats import Stats
+
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "DiskDevice",
+    "DiskGeometry",
+    "SchedulingPolicy",
+    "AsyncIOSystem",
+    "Stats",
+]

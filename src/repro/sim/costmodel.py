@@ -1,0 +1,82 @@
+"""CPU cost constants for the primitives of the evaluation engine.
+
+The paper reports measured CPU seconds of a C++ runtime (Natix).  Our
+runtime is a simulator, so CPU time is *modeled*: each physical primitive
+executed by the engine charges a constant to the simulated clock.  The
+constants below were calibrated so that the CPU/total breakdown of Table 3
+lands in the same regime as the paper (CPU fractions of roughly 10-30% for
+navigation-bound plans and 60-80% for the scan plan).
+
+All values are in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-primitive CPU costs charged by the engine.
+
+    Attributes
+    ----------
+    swizzle:
+        Translating a NodeID into a buffer-frame pointer.  Requires a
+        buffer-manager hash table lookup with latch acquisition (Sec. 3.6),
+        which is why it is an order of magnitude more expensive than an
+        intra-cluster hop.
+    unswizzle:
+        Converting a pointer back into a NodeID.  Cheap (Sec. 3.6).
+    intra_hop:
+        Following one intra-cluster edge (slot-to-slot within a page).
+    node_test:
+        Evaluating a node test (tag-set membership) on one node.
+    instance_op:
+        Creating or copying one partial path instance tuple.
+    set_op:
+        One insert/lookup in the main-memory structures R, S of XAssembly
+        or a duplicate-elimination hash table.
+    queue_op:
+        One insert/remove on XSchedule's queue Q.
+    iterator_call:
+        Overhead of one ``next()`` crossing between operators.
+    page_register:
+        Registering a page with the buffer after I/O completes (frame
+        bookkeeping + record directory decoding), charged once per miss.
+    io_submit:
+        CPU cost of issuing one I/O request to the kernel/controller.
+    """
+
+    swizzle: float = 15.0e-6
+    unswizzle: float = 0.5e-6
+    intra_hop: float = 3.5e-6
+    node_test: float = 1.2e-6
+    instance_op: float = 4.0e-6
+    set_op: float = 5.0e-6
+    queue_op: float = 2.5e-6
+    iterator_call: float = 2.0e-6
+    page_register: float = 100e-6
+    io_submit: float = 8e-6
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with every constant multiplied by ``factor``.
+
+        Useful for sensitivity analysis (e.g. modeling a faster CPU).
+        """
+        return CostModel(
+            swizzle=self.swizzle * factor,
+            unswizzle=self.unswizzle * factor,
+            intra_hop=self.intra_hop * factor,
+            node_test=self.node_test * factor,
+            instance_op=self.instance_op * factor,
+            set_op=self.set_op * factor,
+            queue_op=self.queue_op * factor,
+            iterator_call=self.iterator_call * factor,
+            page_register=self.page_register * factor,
+            io_submit=self.io_submit * factor,
+        )
+
+
+#: Default cost model used by :class:`repro.engine.Database` when none is given.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,131 @@
+"""Asynchronous I/O subsystem (paper Sec. 3.7).
+
+The interface the paper expects from the DBMS:
+
+* issue requests for cluster (page) loads *without waiting* for them;
+* a separate call retrieves completed requests, blocking if necessary.
+
+This module adapts the :class:`repro.sim.disk.DiskDevice` to that
+interface and wires the disk timeline into the CPU clock: issuing a
+request charges a small CPU cost; retrieving a completion blocks the CPU
+clock until the disk delivers (accounted as I/O wait).
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock
+from repro.sim.costmodel import CostModel
+from repro.sim.disk import DiskDevice, Request
+from repro.sim.stats import Stats
+
+
+class AsyncIOSystem:
+    """Issue/retrieve interface over the simulated disk."""
+
+    def __init__(
+        self,
+        disk: DiskDevice,
+        clock: SimClock,
+        costs: CostModel,
+        stats: Stats | None = None,
+    ) -> None:
+        self.disk = disk
+        self.clock = clock
+        self.costs = costs
+        self.stats = stats if stats is not None else disk.stats
+        self._requested_pages: set[int] = set()
+        self._early: list[int] = []
+
+    # ------------------------------------------------------------------ async
+
+    def request(self, page: int) -> bool:
+        """Asynchronously request ``page``.
+
+        Returns True if a new request was issued, False if one for the same
+        page is already outstanding (the subsystem coalesces duplicates,
+        like an OS would for the same block).
+        """
+        if page in self._requested_pages:
+            return False
+        self.clock.work(self.costs.io_submit)
+        self.disk.submit(page, self.clock.now)
+        self._requested_pages.add(page)
+        self.stats.async_requests += 1
+        return True
+
+    def try_get_completion(self) -> int | None:
+        """Return the page number of a completed request, or None.
+
+        Never blocks; only surfaces requests that physically completed by
+        the current simulated time.
+        """
+        req = self.disk.pop_completed(self.clock.now)
+        if req is None:
+            return None
+        self._finish(req)
+        return req.page
+
+    def get_completion(self) -> int | None:
+        """Return a completed request's page, blocking the CPU if needed.
+
+        Returns None only when there are no outstanding requests at all.
+        """
+        req = self.disk.pop_completed(self.clock.now)
+        if req is None:
+            done_at = self.disk.run_until_completion(self.clock.now)
+            if done_at is None:
+                return None
+            self.clock.wait_until(done_at)
+            req = self.disk.pop_completed(self.clock.now)
+            assert req is not None
+        self._finish(req)
+        return req.page
+
+    def outstanding(self) -> int:
+        """Number of requests issued but not yet retrieved."""
+        return len(self._requested_pages)
+
+    # ------------------------------------------------------------------ sync
+
+    def read_sync(self, page: int) -> None:
+        """Synchronously read ``page``: submit and block until done.
+
+        Used by the Simple plan (and buffer misses outside the scheduled
+        path), where every inter-cluster navigation immediately stalls on
+        the disk.  If the page was already requested asynchronously this
+        blocks until that earlier request delivers it.
+        """
+        self.stats.sync_requests += 1
+        if page not in self._requested_pages:
+            self.clock.work(self.costs.io_submit)
+            self.disk.submit(page, self.clock.now)
+            self._requested_pages.add(page)
+        # Drain completions until our page arrives; completions for other
+        # pages are re-surfaced to the caller via the pending set, but with
+        # a purely synchronous workload the first completion is ours.
+        while True:
+            req = self.disk.pop_completed(self.clock.now)
+            if req is None:
+                done_at = self.disk.run_until_completion(self.clock.now)
+                if done_at is None:
+                    raise AssertionError(f"lost request for page {page}")
+                self.clock.wait_until(done_at)
+                continue
+            self._finish(req, surface=req.page != page)
+            if req.page == page:
+                return
+
+    # -------------------------------------------------------------- internals
+
+    def _finish(self, req: Request, surface: bool = False) -> None:
+        self._requested_pages.discard(req.page)
+        if surface:
+            # A completion for a different page arrived while waiting
+            # synchronously; remember it so callers can still consume it.
+            self._early.append(req.page)
+
+    def drain_early_completions(self) -> list[int]:
+        """Pages that completed while a sync read was blocking."""
+        early = list(self._early)
+        self._early.clear()
+        return early

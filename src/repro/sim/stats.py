@@ -1,0 +1,67 @@
+"""Execution statistics.
+
+A :class:`Stats` object accumulates the physical counters behind the
+numbers reported in the paper's evaluation: pages read, seek activity,
+buffer behaviour, swizzling, and primitive counts.  Timing (total / CPU /
+I/O wait) lives on the :class:`repro.sim.clock.SimClock` and is combined
+with the counters into a :class:`repro.engine.Result` by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Stats:
+    """Mutable counter bundle for one query execution (or one component).
+
+    All counters start at zero; operators and the storage layer increment
+    them as side effects.  ``merge`` adds another bundle in, which the
+    benchmarks use to aggregate across runs.
+    """
+
+    # I/O layer
+    io_requests: int = 0
+    pages_read: int = 0
+    seeks: int = 0
+    seek_distance: int = 0
+    sequential_reads: int = 0
+    async_requests: int = 0
+    sync_requests: int = 0
+
+    # buffer manager
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    evictions: int = 0
+    swizzles: int = 0
+    unswizzles: int = 0
+
+    # navigation / algebra
+    intra_hops: int = 0
+    node_tests: int = 0
+    instances_created: int = 0
+    border_crossings_deferred: int = 0
+    speculative_instances: int = 0
+    merges: int = 0
+    duplicates_suppressed: int = 0
+    fallbacks: int = 0
+    clusters_visited: int = 0
+
+    def merge(self, other: "Stats") -> None:
+        """Add every counter of ``other`` into this bundle."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain ``{name: value}`` dictionary of all counters."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"Stats({nonzero})"

@@ -1,0 +1,42 @@
+"""NodeIDs: record identifiers that expose their cluster (paper Sec. 3.2/3.3).
+
+A NodeID is the classic RID form — page number plus slot number — packed
+into one Python int so it is hashable, compact in the main-memory sets
+(R, S, Q) of the algebra, and cheap to compare.  The page number *is* the
+cluster id: the paper requires that "the cluster(s) a node belongs to can
+be determined from its NodeID".
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: Number of bits reserved for the slot component.
+SLOT_BITS = 20
+_SLOT_MASK = (1 << SLOT_BITS) - 1
+
+NodeID = NewType("NodeID", int)
+
+
+def make_nodeid(page: int, slot: int) -> NodeID:
+    """Pack ``(page, slot)`` into a NodeID."""
+    if page < 0 or slot < 0:
+        raise ValueError(f"negative NodeID component: page={page}, slot={slot}")
+    if slot > _SLOT_MASK:
+        raise ValueError(f"slot {slot} exceeds {SLOT_BITS}-bit slot space")
+    return NodeID((page << SLOT_BITS) | slot)
+
+
+def page_of(nodeid: NodeID) -> int:
+    """Cluster (page) component of a NodeID."""
+    return nodeid >> SLOT_BITS
+
+
+def slot_of(nodeid: NodeID) -> int:
+    """Slot component of a NodeID."""
+    return nodeid & _SLOT_MASK
+
+
+def format_nodeid(nodeid: NodeID) -> str:
+    """Human-readable ``page.slot`` rendering (used in plan traces)."""
+    return f"{page_of(nodeid)}.{slot_of(nodeid)}"

@@ -1,0 +1,183 @@
+"""ORDPATH order labels (O'Neil et al., SIGMOD 2004; paper Sec. 5.5).
+
+The paper assumes "nodes carry some information that allows to reestablish
+document order, such as ORDPATHs".  This module is a full implementation
+of the ORDPATH labeling scheme:
+
+* initial labels use only positive *odd* ordinals (1, 3, 5, ...);
+* even ordinals are *carets*: they do not contribute an ancestry level but
+  create room to insert new siblings between any two existing labels
+  without relabeling ("careting in");
+* comparison is component-wise lexicographic, which equals document order;
+* the ancestor relation is computable from the labels alone.
+
+Labels are represented as tuples of ints wrapped in a small value class.
+(The original paper additionally defines a prefix-free bitstring encoding
+so byte comparison equals label comparison; we compare decoded components
+directly, which preserves the same order.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class OrdPath:
+    """An immutable ORDPATH label."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: tuple[int, ...]) -> None:
+        if not components:
+            raise ValueError("empty ORDPATH")
+        if components[-1] % 2 == 0:
+            raise ValueError(f"ORDPATH must end in an odd component: {components}")
+        self.components = components
+
+    # ------------------------------------------------------------- ordering
+
+    def __lt__(self, other: "OrdPath") -> bool:
+        return self.components < other.components
+
+    def __le__(self, other: "OrdPath") -> bool:
+        return self.components <= other.components
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrdPath) and self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __repr__(self) -> str:
+        return "OrdPath(%s)" % ".".join(str(c) for c in self.components)
+
+    # -------------------------------------------------------------- ancestry
+
+    def level(self) -> int:
+        """Tree depth encoded by the label (carets do not count)."""
+        # Each level ends at an odd component; even components extend the
+        # current level's ordinal.
+        return sum(1 for c in self.components if c % 2 == 1)
+
+    def is_ancestor_of(self, other: "OrdPath") -> bool:
+        """True if ``self`` is a proper ancestor of ``other``."""
+        mine = self.components
+        theirs = other.components
+        if len(theirs) <= len(mine):
+            return False
+        return theirs[: len(mine)] == mine and self != other
+
+    def parent_prefixes(self) -> Iterator["OrdPath"]:
+        """All proper ancestor labels, nearest first."""
+        comps = self.components
+        for end in range(len(comps) - 1, 0, -1):
+            if comps[end - 1] % 2 == 1:
+                yield OrdPath(comps[:end])
+
+    # ------------------------------------------------------------ generation
+
+    @staticmethod
+    def root() -> "OrdPath":
+        """Label of the document root."""
+        return OrdPath((1,))
+
+    def child(self, ordinal_index: int) -> "OrdPath":
+        """Label of the ``ordinal_index``-th initial child (0-based).
+
+        Initial children receive odd ordinals 1, 3, 5, ...
+        """
+        if ordinal_index < 0:
+            raise ValueError("negative child index")
+        return OrdPath(self.components + (2 * ordinal_index + 1,))
+
+    def children(self) -> Iterator["OrdPath"]:
+        """Infinite stream of initial child labels."""
+        index = 0
+        while True:
+            yield self.child(index)
+            index += 1
+
+    def next_sibling_label(self) -> "OrdPath":
+        """Initial label for a sibling appended after ``self``."""
+        comps = self.components
+        return OrdPath(comps[:-1] + (comps[-1] + 2,))
+
+
+def _tail_of(components: tuple[int, ...]) -> int:
+    """Index where the sibling *tail* of a label starts.
+
+    A label is ``parent-prefix + tail`` where the tail has the shape
+    ``even* odd``: a (possibly empty) run of even caret components followed
+    by exactly one odd component.  The parse is unambiguous: scan backwards
+    over the trailing even run.
+    """
+    k = len(components) - 1  # final component, always odd
+    while k > 0 and components[k - 1] % 2 == 0:
+        k -= 1
+    return k
+
+
+def _tail_after(tail: tuple[int, ...]) -> tuple[int, ...]:
+    """A minimal tail strictly greater than ``tail`` at the same level."""
+    c = tail[0] + 1
+    return (c,) if c % 2 == 1 else (c, 1)
+
+
+def _tail_before(tail: tuple[int, ...]) -> tuple[int, ...]:
+    """A minimal tail strictly smaller than ``tail`` at the same level."""
+    c = tail[0] - 1
+    return (c,) if c % 2 == 1 else (c, 1)
+
+
+def _tail_between(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    """A tail strictly between tails ``a < b`` (ORDPATH careting)."""
+    if not a < b:
+        raise ValueError(f"tails out of order: {a} >= {b}")
+    i = 0
+    while a[i] == b[i]:
+        i += 1  # equal components are even carets; both tails continue
+    common = a[:i]
+    lo, hi = a[i], b[i]
+    if hi - lo >= 2:
+        # room for a component strictly between; prefer an odd one
+        c = lo + 1
+        if c % 2 == 0:
+            c += 1
+        if c < hi:
+            return common + (c,)
+        return common + (lo + 1, 1)
+    # adjacent components (hi == lo + 1): descend on one side
+    if lo % 2 == 0:
+        # a continues after the even caret: extend past a's remainder
+        return common + (lo,) + _tail_after(a[i + 1 :])
+    # a ends at the odd lo; go under b's even caret hi
+    return common + (hi,) + _tail_before(b[i + 1 :])
+
+
+def label_between(left: OrdPath | None, right: OrdPath | None) -> OrdPath:
+    """Produce a fresh sibling label strictly between two existing ones.
+
+    This is ORDPATH "careting in": the result orders strictly between
+    ``left`` and ``right``, sits at the same tree level, and the scheme
+    remains insertable forever (no relabeling).  ``left is None`` means
+    "before the first sibling", ``right is None`` means "after the last
+    sibling".  Both ``None`` is invalid (no context to attach to).
+    """
+    if left is None and right is None:
+        raise ValueError("label_between needs at least one neighbour")
+    if left is None:
+        assert right is not None
+        k = _tail_of(right.components)
+        return OrdPath(right.components[:k] + _tail_before(right.components[k:]))
+    if right is None:
+        k = _tail_of(left.components)
+        return OrdPath(left.components[:k] + _tail_after(left.components[k:]))
+    kl = _tail_of(left.components)
+    kr = _tail_of(right.components)
+    if kl != kr or left.components[:kl] != right.components[:kr]:
+        raise ValueError(f"label_between: {left!r} and {right!r} are not siblings")
+    if not left < right:
+        raise ValueError(f"label_between: neighbours out of order ({left!r} >= {right!r})")
+    prefix = left.components[:kl]
+    tail = _tail_between(left.components[kl:], right.components[kr:])
+    return OrdPath(prefix + tail)

@@ -1,0 +1,144 @@
+"""Slotted pages and segments.
+
+A :class:`Page` is the unit of clustering and of I/O (paper Sec. 3.3):
+whole pages move between disk and the buffer.  A :class:`Segment` is the
+on-disk image — an ordered sequence of pages whose index is the physical
+position used by the disk model's seek calculation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.errors import StorageError
+from repro.storage.record import BorderRecord, CoreRecord
+
+Record = Union[CoreRecord, BorderRecord]
+
+#: Fixed page header (simulated bytes).
+PAGE_HEADER = 32
+#: Slot directory entry per record (simulated bytes).
+SLOT_ENTRY = 4
+
+
+class Page:
+    """A slotted page holding core and border records.
+
+    Slots are stable: deleting a record leaves a tombstone (``None``)
+    whose slot-directory entry may later be reused by :meth:`add`, so
+    NodeIDs of other records are never invalidated.
+    """
+
+    __slots__ = ("page_no", "capacity", "records", "used_bytes", "free_slots")
+
+    def __init__(self, page_no: int, capacity: int) -> None:
+        self.page_no = page_no
+        self.capacity = capacity
+        self.records: list[Record | None] = []
+        self.used_bytes = PAGE_HEADER
+        self.free_slots: list[int] = []
+
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Can a record of ``nbytes`` be added (reusing a tombstone slot
+        if one exists, else paying for a new slot entry)?"""
+        slot_cost = 0 if self.free_slots else SLOT_ENTRY
+        return self.used_bytes + nbytes + slot_cost <= self.capacity
+
+    def add(self, record: Record) -> int:
+        """Store ``record``; returns its slot number."""
+        nbytes = record.size()
+        if not self.fits(nbytes):
+            raise StorageError(
+                f"page {self.page_no} overflow: {nbytes} bytes requested, "
+                f"{self.free_bytes()} free"
+            )
+        if self.free_slots:
+            slot = self.free_slots.pop()
+            self.records[slot] = record
+            self.used_bytes += nbytes
+            return slot
+        self.records.append(record)
+        self.used_bytes += nbytes + SLOT_ENTRY
+        return len(self.records) - 1
+
+    def tombstone(self, slot: int) -> None:
+        """Delete the record at ``slot``, reclaiming its bytes; the slot
+        entry remains and becomes reusable."""
+        record = self.record(slot)
+        if record is None:
+            raise StorageError(f"double tombstone of slot {slot} on page {self.page_no}")
+        self.used_bytes -= record.size()
+        self.records[slot] = None
+        self.free_slots.append(slot)
+
+    def grow(self, extra_bytes: int) -> None:
+        """Account for a record growing in place (e.g. a new child link).
+
+        Used by the importer when appending child links to an
+        already-placed core record.
+        """
+        if self.used_bytes + extra_bytes > self.capacity:
+            raise StorageError(f"page {self.page_no} overflow while growing a record")
+        self.used_bytes += extra_bytes
+
+    def record(self, slot: int) -> Record:
+        try:
+            return self.records[slot]
+        except IndexError:
+            raise StorageError(f"bad slot {slot} on page {self.page_no}") from None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page({self.page_no}, records={len(self.records)}, used={self.used_bytes})"
+
+
+class Segment:
+    """The on-disk page sequence of a document store."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= PAGE_HEADER + SLOT_ENTRY:
+            raise StorageError(f"page size {page_size} too small")
+        self.page_size = page_size
+        self._pages: list[Page] = []
+
+    def allocate(self) -> Page:
+        """Append a fresh page and return it."""
+        page = Page(len(self._pages), self.page_size)
+        self._pages.append(page)
+        return page
+
+    def page(self, page_no: int) -> Page:
+        try:
+            return self._pages[page_no]
+        except IndexError:
+            raise StorageError(f"no such page: {page_no}") from None
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    def pages(self) -> Iterator[Page]:
+        return iter(self._pages)
+
+    def total_bytes(self) -> int:
+        """Simulated document size on disk."""
+        return self.n_pages * self.page_size
+
+    def adopt(self, page: Page) -> None:
+        """Install an externally built page at its ``page_no`` position.
+
+        Used by the importer, which assigns physical page numbers itself
+        (possibly permuted, to model layout fragmentation) and back-patches
+        NodeIDs before handing pages over.  Pages must arrive in page-number
+        order.
+        """
+        if page.page_no != len(self._pages):
+            raise StorageError(
+                f"adopt out of order: expected page {len(self._pages)}, got {page.page_no}"
+            )
+        self._pages.append(page)

@@ -1,0 +1,211 @@
+"""Binary persistence for document stores.
+
+Serialises a :class:`~repro.storage.store.DocumentStore` — tag
+dictionary, pages with their records, and the document catalog — to a
+compact binary file and back.  The format is a custom struct-based
+layout (no pickle: the on-disk image must be stable, inspectable, and
+safe to load).
+
+Format (all integers little-endian)::
+
+    header:   magic "RPRO" | u16 version | u32 page_size
+    tags:     u32 count | count x (u16 len | utf-8 bytes)
+    pages:    u32 count | count x page
+    page:     u32 page_no | u32 used_bytes | u32 n_slots | n_slots x record
+    record:   u8 kind_tag:
+                0 tombstone
+                1 core: u8 kind | u32 tag | ordpath | i32 parent
+                        | u32 n_children | children | value?
+                2 border: u64 companion+1 (0 = unpatched) | i32 local
+                        | u8 flags (1=down, 2=continuation)
+                        | u32 n_children+1 (0 = no list) | children
+    ordpath:  u16 n_components | n_components x i32
+    value:    u8 present | (u32 len | utf-8 bytes)?
+    catalog:  u32 count | count x document
+    document: str name | u64 root | u32 n_pages | page_nos
+              | u64 n_nodes | u32 borders | u32 continuations
+
+Statistics and import results are not persisted; use
+:func:`repro.storage.store.recollect_statistics` after loading if the
+AUTO plan chooser should have statistics.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+from repro.errors import StorageError
+from repro.model.tree import Kind
+from repro.storage.nodeid import NodeID
+from repro.storage.ordpath import OrdPath
+from repro.storage.page import Page
+from repro.storage.record import BorderRecord, CoreRecord
+from repro.storage.store import DocumentStore, StoredDocument
+
+_MAGIC = b"RPRO"
+_VERSION = 1
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    out.write(struct.pack("<H", len(data)))
+    out.write(data)
+
+
+def _read_str(inp: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", inp.read(2))
+    return inp.read(length).decode("utf-8")
+
+
+def _write_value(out: BinaryIO, value: str | None) -> None:
+    if value is None:
+        out.write(b"\x00")
+    else:
+        data = value.encode("utf-8")
+        out.write(b"\x01")
+        out.write(struct.pack("<I", len(data)))
+        out.write(data)
+
+
+def _read_value(inp: BinaryIO) -> str | None:
+    present = inp.read(1)
+    if present == b"\x00":
+        return None
+    (length,) = struct.unpack("<I", inp.read(4))
+    return inp.read(length).decode("utf-8")
+
+
+def _write_record(out: BinaryIO, record) -> None:
+    if record is None:
+        out.write(b"\x00")
+        return
+    if isinstance(record, CoreRecord):
+        out.write(b"\x01")
+        out.write(struct.pack("<BIi", int(record.kind), record.tag, record.parent_slot))
+        components = record.ordpath.components
+        out.write(struct.pack("<H", len(components)))
+        out.write(struct.pack(f"<{len(components)}i", *components))
+        out.write(struct.pack("<I", len(record.child_slots)))
+        if record.child_slots:
+            out.write(struct.pack(f"<{len(record.child_slots)}I", *record.child_slots))
+        _write_value(out, record.value)
+        return
+    assert isinstance(record, BorderRecord)
+    out.write(b"\x02")
+    companion = 0 if record.companion is None else int(record.companion) + 1
+    flags = (1 if record.down else 0) | (2 if record.continuation else 0)
+    out.write(struct.pack("<QiB", companion, record.local_slot, flags))
+    if record.child_slots is None:
+        out.write(struct.pack("<I", 0))
+    else:
+        out.write(struct.pack("<I", len(record.child_slots) + 1))
+        if record.child_slots:
+            out.write(struct.pack(f"<{len(record.child_slots)}I", *record.child_slots))
+
+
+def _read_record(inp: BinaryIO):
+    kind_tag = inp.read(1)
+    if kind_tag == b"\x00":
+        return None
+    if kind_tag == b"\x01":
+        kind, tag, parent_slot = struct.unpack("<BIi", inp.read(9))
+        (n_components,) = struct.unpack("<H", inp.read(2))
+        components = struct.unpack(f"<{n_components}i", inp.read(4 * n_components))
+        record = CoreRecord(Kind(kind), tag, OrdPath(components), parent_slot)
+        (n_children,) = struct.unpack("<I", inp.read(4))
+        if n_children:
+            record.child_slots = list(
+                struct.unpack(f"<{n_children}I", inp.read(4 * n_children))
+            )
+        record.value = _read_value(inp)
+        return record
+    if kind_tag == b"\x02":
+        companion_raw, local_slot, flags = struct.unpack("<QiB", inp.read(13))
+        (n_children_raw,) = struct.unpack("<I", inp.read(4))
+        child_slots = None
+        if n_children_raw:
+            n_children = n_children_raw - 1
+            child_slots = list(
+                struct.unpack(f"<{n_children}I", inp.read(4 * n_children))
+            )
+        return BorderRecord(
+            None if companion_raw == 0 else NodeID(companion_raw - 1),
+            local_slot,
+            down=bool(flags & 1),
+            continuation=bool(flags & 2),
+            child_slots=child_slots,
+        )
+    raise StorageError(f"corrupt store file: unknown record tag {kind_tag!r}")
+
+
+def save_store(store: DocumentStore, path: str) -> None:
+    """Write the whole store (segment + catalog) to ``path``."""
+    with open(path, "wb") as out:
+        out.write(_MAGIC)
+        out.write(struct.pack("<HI", _VERSION, store.segment.page_size))
+        names = store.tags.names()
+        out.write(struct.pack("<I", len(names)))
+        for name in names:
+            _write_str(out, name)
+        out.write(struct.pack("<I", store.segment.n_pages))
+        for page in store.segment.pages():
+            out.write(struct.pack("<III", page.page_no, page.used_bytes, len(page.records)))
+            for record in page.records:
+                _write_record(out, record)
+        out.write(struct.pack("<I", len(store.documents)))
+        for doc in store.documents.values():
+            _write_str(out, doc.name)
+            out.write(struct.pack("<QI", int(doc.root), len(doc.page_nos)))
+            out.write(struct.pack(f"<{len(doc.page_nos)}I", *doc.page_nos))
+            out.write(
+                struct.pack("<QII", doc.n_nodes, doc.n_border_pairs, doc.n_continuations)
+            )
+
+
+def load_store(path: str) -> DocumentStore:
+    """Load a store previously written by :func:`save_store`."""
+    with open(path, "rb") as inp:
+        if inp.read(4) != _MAGIC:
+            raise StorageError(f"{path} is not a repro store file")
+        version, page_size = struct.unpack("<HI", inp.read(6))
+        if version != _VERSION:
+            raise StorageError(f"unsupported store version {version}")
+        store = DocumentStore(page_size)
+        (n_tags,) = struct.unpack("<I", inp.read(4))
+        for index in range(n_tags):
+            name = _read_str(inp)
+            interned = store.tags.intern(name)
+            if interned != index:
+                raise StorageError(
+                    f"corrupt store file: tag {name!r} maps to {interned}, expected {index}"
+                )
+        (n_pages,) = struct.unpack("<I", inp.read(4))
+        for _ in range(n_pages):
+            page_no, used_bytes, n_slots = struct.unpack("<III", inp.read(12))
+            page = Page(page_no, page_size)
+            for slot in range(n_slots):
+                record = _read_record(inp)
+                page.records.append(record)
+                if record is None:
+                    page.free_slots.append(slot)
+            page.used_bytes = used_bytes
+            store.segment.adopt(page)
+        (n_documents,) = struct.unpack("<I", inp.read(4))
+        for _ in range(n_documents):
+            name = _read_str(inp)
+            root, n_page_nos = struct.unpack("<QI", inp.read(12))
+            page_nos = list(struct.unpack(f"<{n_page_nos}I", inp.read(4 * n_page_nos)))
+            n_nodes, borders, continuations = struct.unpack("<QII", inp.read(16))
+            store.documents[name] = StoredDocument(
+                name=name,
+                root=NodeID(root),
+                page_nos=page_nos,
+                n_nodes=n_nodes,
+                n_border_pairs=borders,
+                n_continuations=continuations,
+                import_result=None,  # type: ignore[arg-type]
+                statistics=None,
+            )
+        return store

@@ -1,0 +1,304 @@
+"""Document store: segments, stored documents, and structural validation.
+
+A :class:`DocumentStore` owns one :class:`~repro.storage.page.Segment`
+(the on-disk image) and any number of imported documents.  It also
+provides :func:`export_tree`, which reconstructs the logical tree from the
+physical records — used by the round-trip tests and doubling as the
+document-export feature the paper's outlook section mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.model.builder import TreeBuilder
+from repro.model.tags import TagDictionary
+from repro.model.tree import Kind, LogicalTree
+from repro.storage.importer import ImportOptions, ImportResult, import_tree
+from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
+from repro.storage.page import Segment
+from repro.storage.record import BorderRecord, CoreRecord
+
+
+@dataclass
+class DocumentStatistics:
+    """Schema-level statistics collected at import time.
+
+    Used by the AUTO plan chooser (the cost model the paper's outlook
+    section calls for) to estimate how much of the document a path visits.
+
+    ``child_pairs[(p, c)]`` counts parent-child tag pairs;
+    ``desc_pairs[(a, d)]`` counts ancestor-descendant tag pairs (exact,
+    computed with an O(n * depth) sweep).
+    """
+
+    n_nodes: int
+    n_elements: int
+    tag_counts: dict[int, int]
+    child_pairs: dict[tuple[int, int], int]
+    desc_pairs: dict[tuple[int, int], int]
+
+    @staticmethod
+    def collect(tree: LogicalTree) -> "DocumentStatistics":
+        tag_counts: dict[int, int] = {}
+        child_pairs: dict[tuple[int, int], int] = {}
+        desc_pairs: dict[tuple[int, int], int] = {}
+        tags_arr = tree.tag
+        parent = tree.parent
+        n_elements = 0
+        for node in range(len(tree)):
+            tag = tags_arr[node]
+            tag_counts[tag] = tag_counts.get(tag, 0) + 1
+            if tree.kind[node] == Kind.ELEMENT:
+                n_elements += 1
+            p = parent[node]
+            if p >= 0:
+                pair = (tags_arr[p], tag)
+                child_pairs[pair] = child_pairs.get(pair, 0) + 1
+                ancestor = p
+                while ancestor >= 0:
+                    dpair = (tags_arr[ancestor], tag)
+                    desc_pairs[dpair] = desc_pairs.get(dpair, 0) + 1
+                    ancestor = parent[ancestor]
+        return DocumentStatistics(
+            n_nodes=len(tree),
+            n_elements=n_elements,
+            tag_counts=tag_counts,
+            child_pairs=child_pairs,
+            desc_pairs=desc_pairs,
+        )
+
+
+@dataclass
+class StoredDocument:
+    """Catalog entry for one imported document."""
+
+    name: str
+    root: NodeID
+    page_nos: list[int]  #: physical pages of this document, ascending
+    n_nodes: int
+    n_border_pairs: int
+    n_continuations: int
+    import_result: ImportResult = field(repr=False)
+    statistics: DocumentStatistics | None = field(default=None, repr=False)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_nos)
+
+
+class DocumentStore:
+    """A segment plus the documents imported into it."""
+
+    def __init__(self, page_size: int = 8192, tags: TagDictionary | None = None) -> None:
+        self.segment = Segment(page_size)
+        self.tags = tags if tags is not None else TagDictionary()
+        self.documents: dict[str, StoredDocument] = {}
+
+    def import_document(
+        self,
+        tree: LogicalTree,
+        name: str,
+        options: ImportOptions | None = None,
+    ) -> StoredDocument:
+        """Cluster ``tree`` onto fresh pages of the segment."""
+        if name in self.documents:
+            raise StorageError(f"document {name!r} already exists")
+        if tree.tags is not self.tags:
+            raise StorageError("document tree must share the store's tag dictionary")
+        opts = options or ImportOptions(page_size=self.segment.page_size)
+        if opts.page_size != self.segment.page_size:
+            raise StorageError(
+                f"import page size {opts.page_size} differs from segment "
+                f"page size {self.segment.page_size}"
+            )
+        result = import_tree(tree, opts, first_page_no=self.segment.n_pages)
+        for page in result.pages:
+            self.segment.adopt(page)
+        doc = StoredDocument(
+            name=name,
+            root=result.root,
+            page_nos=result.page_nos,
+            n_nodes=len(tree),
+            n_border_pairs=result.n_border_pairs,
+            n_continuations=result.n_continuations,
+            import_result=result,
+            statistics=DocumentStatistics.collect(tree),
+        )
+        self.documents[name] = doc
+        return doc
+
+    def document(self, name: str) -> StoredDocument:
+        try:
+            return self.documents[name]
+        except KeyError:
+            raise StorageError(f"no such document: {name!r}") from None
+
+
+def recollect_statistics(store: DocumentStore, doc: StoredDocument) -> DocumentStatistics:
+    """Rebuild schema statistics from the physical records.
+
+    Structural updates invalidate the import-time statistics snapshot
+    (the AUTO plan chooser then runs statistics-free); this walk restores
+    them from the stored document without re-importing.
+    """
+    segment = store.segment
+    tag_counts: dict[int, int] = {}
+    child_pairs: dict[tuple[int, int], int] = {}
+    desc_pairs: dict[tuple[int, int], int] = {}
+    n_nodes = 0
+    n_elements = 0
+    # stack entries: (page_no, slot, ancestor-tag chain)
+    root_page, root_slot = page_of(doc.root), slot_of(doc.root)
+    stack: list[tuple[int, int, tuple[int, ...]]] = [(root_page, root_slot, ())]
+    while stack:
+        page_no, slot, ancestors = stack.pop()
+        record = segment.page(page_no).record(slot)
+        if record is None:
+            continue
+        if isinstance(record, BorderRecord):
+            if record.down:
+                target = record.target()
+                stack.append((page_of(target), slot_of(target), ancestors))
+            elif record.continuation:
+                for child_slot in record.child_slots or ():
+                    stack.append((page_no, child_slot, ancestors))
+            else:
+                stack.append((page_no, record.local_slot, ancestors))
+            continue
+        n_nodes += 1
+        tag = record.tag
+        tag_counts[tag] = tag_counts.get(tag, 0) + 1
+        if record.kind == Kind.ELEMENT:
+            n_elements += 1
+        if ancestors:
+            pair = (ancestors[-1], tag)
+            child_pairs[pair] = child_pairs.get(pair, 0) + 1
+            for ancestor_tag in ancestors:
+                dpair = (ancestor_tag, tag)
+                desc_pairs[dpair] = desc_pairs.get(dpair, 0) + 1
+        chain = ancestors + (tag,)
+        for child_slot in record.child_slots:
+            stack.append((page_no, child_slot, chain))
+    statistics = DocumentStatistics(
+        n_nodes=n_nodes,
+        n_elements=n_elements,
+        tag_counts=tag_counts,
+        child_pairs=child_pairs,
+        desc_pairs=desc_pairs,
+    )
+    doc.statistics = statistics
+    doc.n_nodes = n_nodes
+    return statistics
+
+
+def check_document(store: DocumentStore, doc: StoredDocument) -> None:
+    """Validate physical invariants of a stored document.
+
+    Checks: border pairs are mutual (``target(target(x)) == x``), with
+    opposite directions; every child link resolves; every core record's
+    parent link resolves; continuation proxies carry child lists.
+    Raises :class:`StorageError` on the first violation.
+    """
+    segment = store.segment
+    for page_no in doc.page_nos:
+        page = segment.page(page_no)
+        for slot, record in enumerate(page.records):
+            if record is None:
+                continue  # tombstone left by a relocation (updates)
+            if isinstance(record, BorderRecord):
+                companion_id = record.target()
+                companion_page = segment.page(page_of(companion_id))
+                companion = companion_page.record(slot_of(companion_id))
+                if not isinstance(companion, BorderRecord):
+                    raise StorageError(f"border companion is not a border at {companion_id}")
+                if companion.target() != make_nodeid(page_no, slot):
+                    raise StorageError(f"border pair not mutual at page {page_no} slot {slot}")
+                if companion.down == record.down:
+                    raise StorageError(f"border pair direction clash at page {page_no} slot {slot}")
+                if companion.continuation != record.continuation:
+                    raise StorageError(f"border pair kind clash at page {page_no} slot {slot}")
+                if not record.down and record.continuation and record.child_slots is None:
+                    raise StorageError(f"continuation proxy without child list at {page_no}.{slot}")
+                if record.local_slot >= 0:
+                    local = page.record(record.local_slot)
+                    if isinstance(local, BorderRecord):
+                        # a downward border may hang off a continuation
+                        # proxy (split child list); anything else is corrupt
+                        holder_ok = record.down and local.continuation and not local.down
+                        if not holder_ok:
+                            raise StorageError(
+                                f"bad border local link at {page_no}.{slot}"
+                            )
+                for child_slot in record.child_slots or ():
+                    page.record(child_slot)
+            else:
+                if record.parent_slot >= 0:
+                    page.record(record.parent_slot)
+                for child_slot in record.child_slots:
+                    page.record(child_slot)
+
+
+def export_tree(store: DocumentStore, doc: StoredDocument) -> LogicalTree:
+    """Rebuild the logical tree of ``doc`` from its physical records.
+
+    Walks the clustered representation depth-first, transparently crossing
+    border pairs and continuation proxies.  Round-tripping
+    ``export_tree(import_document(tree))`` must reproduce ``tree`` — the
+    central storage-correctness property in the test suite.
+    """
+    segment = store.segment
+    builder = TreeBuilder(store.tags)
+
+    def resolve(page_no: int, slot: int) -> tuple[int, int, CoreRecord]:
+        """Follow border indirections down to a core record."""
+        record = segment.page(page_no).record(slot)
+        while isinstance(record, BorderRecord):
+            if not record.down and record.local_slot >= 0:
+                # upward border inside the child cluster: its local core node
+                slot = record.local_slot
+            else:
+                target = record.target()
+                page_no, slot = page_of(target), slot_of(target)
+            record = segment.page(page_no).record(slot)
+        return page_no, slot, record
+
+    def child_entries(page_no: int, record: CoreRecord | BorderRecord) -> list[tuple[int, int]]:
+        """Expand a child-slot list, inlining continuation proxies."""
+        out: list[tuple[int, int]] = []
+        slots = record.child_slots or ()
+        for slot in slots:
+            entry = segment.page(page_no).record(slot)
+            if isinstance(entry, BorderRecord) and entry.continuation and entry.down:
+                target = entry.target()
+                proxy_page = page_of(target)
+                proxy = segment.page(proxy_page).record(slot_of(target))
+                assert isinstance(proxy, BorderRecord)
+                out.extend(child_entries(proxy_page, proxy))
+            else:
+                out.append((page_no, slot))
+        return out
+
+    def emit(page_no: int, slot: int) -> None:
+        page_no, slot, record = resolve(page_no, slot)
+        kind = record.kind
+        if kind == Kind.TEXT:
+            builder.text(record.value or "")
+            return
+        if kind == Kind.ATTRIBUTE:
+            builder.attribute(store.tags.name_of(record.tag), record.value or "")
+            return
+        if kind == Kind.ELEMENT:
+            builder.start_element(store.tags.name_of(record.tag))
+        for child_page, child_slot in child_entries(page_no, record):
+            emit(child_page, child_slot)
+        if kind == Kind.ELEMENT:
+            builder.end_element()
+
+    root_page, root_slot = page_of(doc.root), slot_of(doc.root)
+    root_record = segment.page(root_page).record(root_slot)
+    assert isinstance(root_record, CoreRecord) and root_record.kind == Kind.DOCUMENT
+    for child_page, child_slot in child_entries(root_page, root_record):
+        emit(child_page, child_slot)
+    return builder.finish()

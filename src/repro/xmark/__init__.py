@@ -1,0 +1,22 @@
+"""XMark benchmark workloads (Schmidt et al., VLDB 2002).
+
+The paper evaluates on documents produced by the XMark generator
+``xmlgen`` at scaling factors 0.1-2.  This package is a from-scratch
+generator producing documents with the same element hierarchy and the
+same *relative* entity fan-outs, scaled down ~10x in absolute node count
+so that a pure-Python engine sweeps all nine scale factors in minutes
+(the substitution is documented in DESIGN.md; the selectivity ratios
+that drive the paper's plan crossovers are preserved).
+"""
+
+from repro.xmark.generator import XMarkProfile, generate_xmark
+from repro.xmark.queries import PAPER_QUERIES, Q6_PRIME, Q7, Q15
+
+__all__ = [
+    "generate_xmark",
+    "XMarkProfile",
+    "PAPER_QUERIES",
+    "Q6_PRIME",
+    "Q7",
+    "Q15",
+]

@@ -1,0 +1,360 @@
+"""From-scratch XMark document generator.
+
+Reproduces the element hierarchy of the XMark benchmark's auction site
+document [Schmidt et al., VLDB 2002]: regions with items, categories
+with a category graph, people, open and closed auctions, and the
+recursive ``description``/``parlist``/``listitem``/``text`` machinery
+whose nested ``keyword``/``bold``/``emph`` content Q15 drills into.
+
+Entity counts follow xmlgen's ratios (items : persons : open auctions :
+closed auctions : categories = 21750 : 25500 : 12000 : 9750 : 1000 at
+scale 1) divided by :data:`XMarkProfile.downscale` so a pure-Python
+engine can sweep all nine scale factors of the paper's evaluation.  Set
+``downscale=1`` to generate full-size documents.
+
+The generator is deterministic per ``(scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.builder import TreeBuilder
+from repro.model.tags import TagDictionary
+from repro.model.tree import LogicalTree
+
+#: Word pool for generated prose (keeps text nodes short but realistic).
+_WORDS = (
+    "auction bid lot seller rare fine crate ship port trade gold silver "
+    "silk amber ledger note offer price deal stock yield market charter "
+    "guild wagon cargo spice linen copper tin grain salt wine oak pine"
+).split()
+
+#: Regional distribution of items, as in xmlgen.
+_REGIONS = (
+    ("africa", 0.0275),
+    ("asia", 0.10),
+    ("australia", 0.0275),
+    ("europe", 0.30),
+    ("namerica", 0.515),
+    ("samerica", 0.03),
+)
+
+
+@dataclass(frozen=True)
+class XMarkProfile:
+    """Entity counts at scale 1.0 before downscaling, plus shape knobs."""
+
+    items: int = 21750
+    persons: int = 25500
+    open_auctions: int = 12000
+    closed_auctions: int = 9750
+    categories: int = 1000
+    downscale: int = 10
+    #: probability that a description holds a parlist rather than flat text
+    parlist_probability: float = 0.35
+    #: probability that a listitem nests another parlist (per level)
+    nested_parlist_probability: float = 0.30
+    max_parlist_depth: int = 3
+
+    def scaled(self, scale: float, base: int) -> int:
+        return max(1, round(base * scale / self.downscale))
+
+
+class _Generator:
+    def __init__(self, scale: float, seed: int, profile: XMarkProfile, tags: TagDictionary | None):
+        self.rng = random.Random((seed << 16) ^ hash(round(scale * 1000)))
+        self.profile = profile
+        self.scale = scale
+        self.builder = TreeBuilder(tags)
+        self.n_items = profile.scaled(scale, profile.items)
+        self.n_persons = profile.scaled(scale, profile.persons)
+        self.n_open = profile.scaled(scale, profile.open_auctions)
+        self.n_closed = profile.scaled(scale, profile.closed_auctions)
+        self.n_categories = profile.scaled(scale, profile.categories)
+
+    # --------------------------------------------------------------- helpers
+
+    def words(self, low: int, high: int) -> str:
+        rng = self.rng
+        return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(low, high)))
+
+    def element(self, name: str, text_low: int = 1, text_high: int = 4) -> None:
+        b = self.builder
+        b.start_element(name)
+        b.text(self.words(text_low, text_high))
+        b.end_element()
+
+    # ----------------------------------------------------------- description
+
+    def text_block(self) -> None:
+        """A ``text`` element with mixed keyword/bold/emph content.
+
+        The nesting ``text/emph/keyword`` is what Q15's tail selects; its
+        probability mirrors xmlgen's grammar closely enough to keep Q15
+        highly selective.
+        """
+        b = self.builder
+        rng = self.rng
+        b.start_element("text")
+        for _ in range(rng.randint(1, 3)):
+            roll = rng.random()
+            if roll < 0.55:
+                b.text(self.words(2, 6))
+            elif roll < 0.70:
+                self.element("keyword", 1, 3)
+            elif roll < 0.85:
+                self.element("bold", 1, 3)
+            else:
+                b.start_element("emph")
+                if rng.random() < 0.45:
+                    self.element("keyword", 1, 3)
+                else:
+                    b.text(self.words(1, 3))
+                b.end_element()
+        b.end_element()
+
+    def parlist(self, depth: int) -> None:
+        b = self.builder
+        rng = self.rng
+        b.start_element("parlist")
+        for _ in range(rng.randint(2, 4)):
+            b.start_element("listitem")
+            nest = (
+                depth < self.profile.max_parlist_depth
+                and rng.random() < self.profile.nested_parlist_probability
+            )
+            if nest:
+                self.parlist(depth + 1)
+            else:
+                self.text_block()
+            b.end_element()
+        b.end_element()
+
+    def description(self) -> None:
+        b = self.builder
+        b.start_element("description")
+        if self.rng.random() < self.profile.parlist_probability:
+            self.parlist(1)
+        else:
+            self.text_block()
+        b.end_element()
+
+    # -------------------------------------------------------------- sections
+
+    def item(self, item_id: int) -> None:
+        b = self.builder
+        rng = self.rng
+        b.start_element("item", [("id", f"item{item_id}")])
+        self.element("location")
+        self.element("quantity", 1, 1)
+        self.element("name", 2, 4)
+        b.start_element("payment")
+        b.text(rng.choice(["Cash", "Creditcard", "Money order"]))
+        b.end_element()
+        self.description()
+        self.element("shipping", 2, 5)
+        for _ in range(rng.randint(1, 3)):
+            b.start_element(
+                "incategory",
+                [("category", f"category{rng.randrange(self.n_categories)}")],
+            )
+            b.end_element()
+        b.start_element("mailbox")
+        for _ in range(rng.randint(0, 2)):
+            b.start_element("mail")
+            self.element("from", 2, 3)
+            self.element("to", 2, 3)
+            self.element("date", 1, 1)
+            self.text_block()
+            b.end_element()
+        b.end_element()
+        b.end_element()
+
+    def person(self, person_id: int) -> None:
+        b = self.builder
+        rng = self.rng
+        b.start_element("person", [("id", f"person{person_id}")])
+        self.element("name", 2, 2)
+        b.start_element("emailaddress")
+        b.text(f"mailto:user{person_id}@site.example")
+        b.end_element()
+        if rng.random() < 0.5:
+            self.element("phone", 1, 1)
+        if rng.random() < 0.6:
+            b.start_element("address")
+            self.element("street", 2, 3)
+            self.element("city", 1, 1)
+            self.element("country", 1, 1)
+            self.element("zipcode", 1, 1)
+            b.end_element()
+        if rng.random() < 0.3:
+            self.element("homepage", 1, 1)
+        if rng.random() < 0.4:
+            self.element("creditcard", 1, 1)
+        if rng.random() < 0.7:
+            b.start_element("profile", [("income", str(rng.randint(10000, 100000)))])
+            for _ in range(rng.randint(0, 3)):
+                b.start_element(
+                    "interest",
+                    [("category", f"category{rng.randrange(self.n_categories)}")],
+                )
+                b.end_element()
+            if rng.random() < 0.5:
+                self.element("education", 1, 2)
+            b.start_element("business")
+            b.text(rng.choice(["Yes", "No"]))
+            b.end_element()
+            if rng.random() < 0.6:
+                self.element("age", 1, 1)
+            b.end_element()
+        if rng.random() < 0.4:
+            b.start_element("watches")
+            for _ in range(rng.randint(1, 3)):
+                b.start_element(
+                    "watch",
+                    [("open_auction", f"open_auction{rng.randrange(self.n_open)}")],
+                )
+                b.end_element()
+            b.end_element()
+        b.end_element()
+
+    def annotation(self) -> None:
+        b = self.builder
+        b.start_element("annotation")
+        self.element("author", 2, 2)
+        self.description()
+        self.element("happiness", 1, 1)
+        b.end_element()
+
+    def open_auction(self, auction_id: int) -> None:
+        b = self.builder
+        rng = self.rng
+        b.start_element("open_auction", [("id", f"open_auction{auction_id}")])
+        self.element("initial", 1, 1)
+        if rng.random() < 0.4:
+            self.element("reserve", 1, 1)
+        for _ in range(rng.randint(0, 4)):
+            b.start_element("bidder")
+            self.element("date", 1, 1)
+            self.element("time", 1, 1)
+            b.start_element(
+                "personref", [("person", f"person{rng.randrange(self.n_persons)}")]
+            )
+            b.end_element()
+            self.element("increase", 1, 1)
+            b.end_element()
+        self.element("current", 1, 1)
+        if rng.random() < 0.3:
+            self.element("privacy", 1, 1)
+        b.start_element("itemref", [("item", f"item{rng.randrange(self.n_items)}")])
+        b.end_element()
+        b.start_element("seller", [("person", f"person{rng.randrange(self.n_persons)}")])
+        b.end_element()
+        self.annotation()
+        self.element("quantity", 1, 1)
+        b.start_element("type")
+        b.text(rng.choice(["Regular", "Featured", "Dutch"]))
+        b.end_element()
+        b.start_element("interval")
+        self.element("start", 1, 1)
+        self.element("end", 1, 1)
+        b.end_element()
+        b.end_element()
+
+    def closed_auction(self) -> None:
+        b = self.builder
+        rng = self.rng
+        b.start_element("closed_auction")
+        b.start_element("seller", [("person", f"person{rng.randrange(self.n_persons)}")])
+        b.end_element()
+        b.start_element("buyer", [("person", f"person{rng.randrange(self.n_persons)}")])
+        b.end_element()
+        b.start_element("itemref", [("item", f"item{rng.randrange(self.n_items)}")])
+        b.end_element()
+        self.element("price", 1, 1)
+        self.element("date", 1, 1)
+        self.element("quantity", 1, 1)
+        b.start_element("type")
+        b.text(rng.choice(["Regular", "Featured", "Dutch"]))
+        b.end_element()
+        self.annotation()
+        b.end_element()
+
+    def category(self, category_id: int) -> None:
+        b = self.builder
+        b.start_element("category", [("id", f"category{category_id}")])
+        self.element("name", 1, 3)
+        self.description()
+        b.end_element()
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> LogicalTree:
+        b = self.builder
+        b.start_element("site")
+
+        b.start_element("regions")
+        remaining = self.n_items
+        next_id = 0
+        for index, (region, fraction) in enumerate(_REGIONS):
+            count = (
+                remaining
+                if index == len(_REGIONS) - 1
+                else min(remaining, round(self.n_items * fraction))
+            )
+            remaining -= count
+            b.start_element(region)
+            for _ in range(count):
+                self.item(next_id)
+                next_id += 1
+            b.end_element()
+        b.end_element()
+
+        b.start_element("categories")
+        for i in range(self.n_categories):
+            self.category(i)
+        b.end_element()
+
+        b.start_element("catgraph")
+        for _ in range(self.n_categories):
+            b.start_element(
+                "edge",
+                [
+                    ("from", f"category{self.rng.randrange(self.n_categories)}"),
+                    ("to", f"category{self.rng.randrange(self.n_categories)}"),
+                ],
+            )
+            b.end_element()
+        b.end_element()
+
+        b.start_element("people")
+        for i in range(self.n_persons):
+            self.person(i)
+        b.end_element()
+
+        b.start_element("open_auctions")
+        for i in range(self.n_open):
+            self.open_auction(i)
+        b.end_element()
+
+        b.start_element("closed_auctions")
+        for _ in range(self.n_closed):
+            self.closed_auction()
+        b.end_element()
+
+        b.end_element()
+        return b.finish()
+
+
+def generate_xmark(
+    scale: float = 0.1,
+    tags: TagDictionary | None = None,
+    seed: int = 0,
+    profile: XMarkProfile | None = None,
+) -> LogicalTree:
+    """Generate an XMark-shaped document at scaling factor ``scale``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return _Generator(scale, seed, profile or XMarkProfile(), tags).run()

@@ -1,0 +1,18 @@
+"""From-scratch XML frontend.
+
+A small, strict XML parser sufficient for database import workloads:
+elements, attributes, character data, CDATA sections, comments,
+processing instructions, and the five predefined entities plus numeric
+character references.  DTDs are recognised and skipped.
+"""
+
+from repro.xml.parser import parse_document, parse_into
+from repro.xml.escape import escape_attribute, escape_text, serialize
+
+__all__ = [
+    "parse_document",
+    "parse_into",
+    "escape_text",
+    "escape_attribute",
+    "serialize",
+]

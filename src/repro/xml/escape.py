@@ -1,0 +1,60 @@
+"""XML serialization: the inverse of the parser.
+
+Used by tests (round-trip property: ``parse(serialize(tree)) == tree``)
+and by the document-export example the paper's outlook section mentions.
+"""
+
+from __future__ import annotations
+
+from repro.model.tree import Kind, LogicalTree
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted serialization."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def serialize(tree: LogicalTree, node: int | None = None, indent: bool = False) -> str:
+    """Serialize ``tree`` (or the subtree at ``node``) back to XML text."""
+    out: list[str] = []
+    roots = list(tree.element_children(tree.root)) if node is None else [node]
+    for root in roots:
+        _serialize_node(tree, root, out, 0, indent)
+    return "".join(out)
+
+
+def _serialize_node(
+    tree: LogicalTree, node: int, out: list[str], depth: int, indent: bool
+) -> None:
+    kind = tree.kind_of(node)
+    pad = "  " * depth if indent else ""
+    newline = "\n" if indent else ""
+    if kind == Kind.TEXT:
+        out.append(pad + escape_text(tree.value_of(node) or "") + newline)
+        return
+    if kind == Kind.ATTRIBUTE:
+        return  # attributes are emitted with their owner's start tag
+    name = tree.tag_name(node)
+    attrs = "".join(
+        f' {tree.tag_name(a)}="{escape_attribute(tree.value_of(a) or "")}"'
+        for a in tree.attributes(node)
+    )
+    content = [c for c in tree.element_children(node)]
+    if not content:
+        out.append(f"{pad}<{name}{attrs}/>{newline}")
+        return
+    out.append(f"{pad}<{name}{attrs}>{newline}")
+    for child in content:
+        _serialize_node(tree, child, out, depth + 1, indent)
+    out.append(f"{pad}</{name}>{newline}")

@@ -1,0 +1,259 @@
+"""A small, strict, from-scratch XML parser.
+
+Supports the subset of XML 1.0 needed for database import: elements,
+attributes (quoted with ``"`` or ``'``), character data, CDATA sections,
+comments, processing instructions, the five predefined entities
+(``&amp; &lt; &gt; &quot; &apos;``) and numeric character references
+(``&#...;`` / ``&#x...;``).  An XML declaration and a DOCTYPE without an
+internal subset are recognised and skipped.  Namespace prefixes are kept
+as part of the tag name (no namespace processing), matching how the
+paper's tag alphabet treats names as opaque labels.
+
+Parsing is event-driven into a :class:`repro.model.builder.TreeBuilder`,
+so document size is bounded by the tree representation, not by an
+intermediate DOM.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlSyntaxError
+from repro.model.builder import TreeBuilder
+from repro.model.tags import TagDictionary
+from repro.model.tree import LogicalTree
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character-level cursor over the document text."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def take(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        return ch
+
+    def match(self, literal: str) -> bool:
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str, context: str) -> None:
+        if not self.match(literal):
+            raise XmlSyntaxError(f"expected {literal!r} in {context}", self.pos)
+
+    def skip_whitespace(self) -> None:
+        text, pos, length = self.text, self.pos, self.length
+        while pos < length and text[pos] in " \t\r\n":
+            pos += 1
+        self.pos = pos
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in _NAME_START:
+            raise XmlSyntaxError("expected a name", self.pos)
+        pos, text, length = self.pos + 1, self.text, self.length
+        while pos < length and text[pos] in _NAME_CHARS:
+            pos += 1
+        self.pos = pos
+        return text[start:pos]
+
+    def read_until(self, terminator: str, context: str) -> str:
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise XmlSyntaxError(f"unterminated {context}", self.pos)
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(terminator)
+        return chunk
+
+
+def _decode_entities(raw: str, scanner_pos: int) -> str:
+    """Resolve entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise XmlSyntaxError("unterminated entity reference", scanner_pos + i)
+        body = raw[i + 1 : end]
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                out.append(chr(int(body[2:], 16)))
+            except ValueError:
+                raise XmlSyntaxError(f"bad character reference &{body};", scanner_pos + i)
+        elif body.startswith("#"):
+            try:
+                out.append(chr(int(body[1:], 10)))
+            except ValueError:
+                raise XmlSyntaxError(f"bad character reference &{body};", scanner_pos + i)
+        elif body in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[body])
+        else:
+            raise XmlSyntaxError(f"unknown entity &{body};", scanner_pos + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_attributes(scanner: _Scanner) -> list[tuple[str, str]]:
+    attributes: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        if name in seen:
+            raise XmlSyntaxError(f"duplicate attribute {name!r}", scanner.pos)
+        seen.add(name)
+        scanner.skip_whitespace()
+        scanner.expect("=", f"attribute {name!r}")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ('"', "'"):
+            raise XmlSyntaxError(f"attribute {name!r} value must be quoted", scanner.pos)
+        scanner.take()
+        raw = scanner.read_until(quote, f"attribute {name!r} value")
+        if "<" in raw:
+            raise XmlSyntaxError(f"literal '<' in attribute {name!r}", scanner.pos)
+        attributes.append((name, _decode_entities(raw, scanner.pos)))
+
+
+def _skip_prolog(scanner: _Scanner) -> None:
+    """Consume the XML declaration, DOCTYPE, comments and PIs before the root."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.match("<?"):
+            scanner.read_until("?>", "processing instruction")
+        elif scanner.match("<!--"):
+            scanner.read_until("-->", "comment")
+        elif scanner.match("<!DOCTYPE"):
+            depth = 1
+            while depth > 0:
+                if scanner.eof():
+                    raise XmlSyntaxError("unterminated DOCTYPE", scanner.pos)
+                ch = scanner.take()
+                if ch == "<":
+                    depth += 1
+                elif ch == ">":
+                    depth -= 1
+        else:
+            return
+
+
+def parse_into(text: str, builder: TreeBuilder, keep_whitespace_text: bool = False) -> None:
+    """Parse ``text`` and feed events into ``builder``.
+
+    Whitespace-only text nodes between elements are dropped unless
+    ``keep_whitespace_text`` is set — document-database import convention.
+    """
+    scanner = _Scanner(text)
+    _skip_prolog(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise XmlSyntaxError("expected root element", scanner.pos)
+    depth = 0
+    started = False
+    while not scanner.eof():
+        if scanner.peek() == "<":
+            if scanner.match("<!--"):
+                scanner.read_until("-->", "comment")
+                continue
+            if scanner.match("<![CDATA["):
+                if depth == 0:
+                    raise XmlSyntaxError("CDATA outside the root element", scanner.pos)
+                builder.text(scanner.read_until("]]>", "CDATA section"))
+                continue
+            if scanner.match("<?"):
+                scanner.read_until("?>", "processing instruction")
+                continue
+            if scanner.match("</"):
+                position = scanner.pos
+                name = scanner.read_name()
+                scanner.skip_whitespace()
+                scanner.expect(">", f"end tag </{name}>")
+                try:
+                    builder.end_element(name)
+                except Exception as exc:
+                    raise XmlSyntaxError(str(exc), position) from None
+                depth -= 1
+                if depth == 0:
+                    break
+                continue
+            scanner.expect("<", "tag")
+            if started and depth == 0:
+                raise XmlSyntaxError("content after the root element", scanner.pos)
+            name = scanner.read_name()
+            attributes = _parse_attributes(scanner)
+            if scanner.match("/>"):
+                builder.start_element(name, attributes)
+                builder.end_element(name)
+                if depth == 0:
+                    started = True
+                    break
+            else:
+                scanner.expect(">", f"start tag <{name}>")
+                builder.start_element(name, attributes)
+                depth += 1
+                started = True
+        else:
+            start = scanner.pos
+            end = scanner.text.find("<", start)
+            if end < 0:
+                end = scanner.length
+            raw = scanner.text[start:end]
+            scanner.pos = end
+            if depth == 0:
+                if raw.strip():
+                    raise XmlSyntaxError("text outside the root element", start)
+                continue
+            if raw.strip() or keep_whitespace_text:
+                builder.text(_decode_entities(raw, start))
+    if depth != 0:
+        raise XmlSyntaxError("unexpected end of document", scanner.pos)
+    scanner.skip_whitespace()
+    while scanner.match("<!--"):
+        scanner.read_until("-->", "comment")
+        scanner.skip_whitespace()
+    if not scanner.eof():
+        raise XmlSyntaxError("content after the root element", scanner.pos)
+
+
+def parse_document(
+    text: str,
+    tags: TagDictionary | None = None,
+    keep_whitespace_text: bool = False,
+) -> LogicalTree:
+    """Parse an XML document string into a :class:`LogicalTree`."""
+    builder = TreeBuilder(tags)
+    parse_into(text, builder, keep_whitespace_text=keep_whitespace_text)
+    return builder.finish()

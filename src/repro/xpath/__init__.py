@@ -1,0 +1,40 @@
+"""XPath frontend: lexer, parser, AST, and the plan compiler.
+
+The supported language is the subset the paper's physical algebra covers
+(Sec. 4.1) plus the aggregation shell its benchmark queries need:
+
+* absolute and relative location paths with the axes in
+  :class:`repro.axes.Axis` (including the ``//``, ``.``, ``..`` and ``@``
+  abbreviations);
+* node tests: names, ``*``, ``text()``, ``node()``;
+* ``count(path)`` and ``+``/``-`` arithmetic over counts and number
+  literals (enough for XMark Q6', Q7, Q15);
+* existence predicates ``[path]`` are parsed; the Simple plan evaluates
+  them, while cost-sensitive plans reject them (the paper defers nested
+  predicates — "more than two incomplete ends" — to future work).
+"""
+
+from repro.xpath.ast import (
+    BinaryOp,
+    CountCall,
+    LocationPath,
+    NodeTestAst,
+    NumberLiteral,
+    PathExpr,
+    Step,
+)
+from repro.xpath.parser import parse_query
+from repro.xpath.compile import compile_query, PlanKind
+
+__all__ = [
+    "parse_query",
+    "compile_query",
+    "PlanKind",
+    "LocationPath",
+    "Step",
+    "NodeTestAst",
+    "PathExpr",
+    "CountCall",
+    "BinaryOp",
+    "NumberLiteral",
+]

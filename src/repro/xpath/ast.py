@@ -1,0 +1,131 @@
+"""Abstract syntax of the supported XPath subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.axes import Axis
+
+
+@dataclass(frozen=True)
+class NodeTestAst:
+    """A node test: named element/attribute, wildcard, or kind test.
+
+    ``kind`` is one of ``"name"``, ``"wildcard"``, ``"text"``, ``"node"``,
+    ``"comment"``.  ``name`` is set only for ``"name"`` tests.
+    """
+
+    kind: str
+    name: str | None = None
+
+    def __str__(self) -> str:
+        if self.kind == "name":
+            return self.name or "?"
+        if self.kind == "wildcard":
+            return "*"
+        return f"{self.kind}()"
+
+
+@dataclass
+class Step:
+    """One location step: axis, node test, optional predicates."""
+
+    axis: Axis
+    test: NodeTestAst
+    predicates: list["Expr"] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis.value}::{self.test}{preds}"
+
+
+@dataclass
+class LocationPath:
+    """A location path; ``absolute`` paths start at the document root."""
+
+    absolute: bool
+    steps: list[Step]
+
+    def __str__(self) -> str:
+        sep = "/" if self.absolute else ""
+        return sep + "/".join(str(s) for s in self.steps)
+
+    def __len__(self) -> int:
+        """Number of location steps — the paper's ``|pi|``."""
+        return len(self.steps)
+
+
+@dataclass
+class PathExpr:
+    """A bare location path used as an expression (returns a node set)."""
+
+    path: LocationPath
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass
+class UnionExpr:
+    """A union of location paths: ``a | b | c`` (a node set)."""
+
+    paths: list[LocationPath]
+
+    def __str__(self) -> str:
+        return " | ".join(str(p) for p in self.paths)
+
+
+@dataclass
+class StringLiteral:
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass
+class Comparison:
+    """Equality comparison, as used in predicates: ``@id = "x"``."""
+
+    op: str  #: "=" or "!="
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass
+class CountCall:
+    """``count(node-set)`` over a path or a union of paths."""
+
+    path: "LocationPath | UnionExpr"
+
+    def __str__(self) -> str:
+        return f"count({self.path})"
+
+
+@dataclass
+class NumberLiteral:
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass
+class BinaryOp:
+    """Arithmetic over numbers: ``+`` or ``-``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[
+    PathExpr, UnionExpr, CountCall, NumberLiteral, StringLiteral, BinaryOp, Comparison
+]

@@ -1,0 +1,455 @@
+"""Compilation of parsed queries into physical plans.
+
+Three plan families, exactly the paper's evaluation matrix (Sec. 6.2):
+
+* ``SIMPLE`` — Unnest-Map chain with final duplicate elimination
+  (Sec. 5.1);
+* ``XSCHEDULE`` — XSchedule -> XStep chain -> XAssembly, asynchronous I/O
+  (Sec. 5.3);
+* ``XSCAN`` — XScan -> XStep chain -> XAssembly, one sequential scan with
+  speculation (Sec. 5.4);
+* ``AUTO`` — picks XSCHEDULE or XSCAN with the cost model from
+  :mod:`repro.xpath.estimate` (the paper's "future work" chooser).
+
+An orthogonal logical rewrite (Sec. 2 "interoperable with logical
+optimization") merges ``descendant-or-self::node()/child::X`` into
+``descendant::X``; it can be disabled to exercise the ``//``-prefix
+R-optimisation of Sec. 5.4.5.4 instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.axes import Axis
+from repro.algebra.context import EvalContext, EvalOptions
+from repro.algebra.base import Operator
+from repro.algebra.misc import (
+    ContextScan,
+    DuplicateElimination,
+    count_results,
+    order_results,
+    result_nodeids,
+)
+from repro.algebra.steps import CompiledNodeTest, CompiledStep
+from repro.algebra.unnestmap import UnnestMap
+from repro.algebra.xassembly import XAssembly
+from repro.algebra.xschedule import XSchedule
+from repro.algebra.xscan import XScan
+from repro.algebra.xstep import XStep
+from repro.errors import UnsupportedQueryError
+from repro.model.tags import TagDictionary
+from repro.sim.disk import DiskGeometry
+from repro.storage.nodeid import NodeID
+from repro.storage.store import StoredDocument
+from repro.algebra.steps import CompiledPredicate
+from repro.xpath.ast import (
+    BinaryOp,
+    Comparison,
+    CountCall,
+    Expr,
+    LocationPath,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+)
+from repro.xpath.estimate import choose_io_operator
+from repro.xpath.parser import parse_query
+
+
+def _is_node_set(node: object) -> bool:
+    return isinstance(node, CompiledPathPlan) or (
+        isinstance(node, tuple) and node and node[0] == "union"
+    )
+
+
+class PlanKind(enum.Enum):
+    SIMPLE = "simple"
+    XSCHEDULE = "xschedule"
+    XSCAN = "xscan"
+    #: all of the query's paths share a single sequential scan (the
+    #: multi-path extension from the paper's outlook)
+    XSCAN_SHARED = "xscan-shared"
+    AUTO = "auto"
+
+
+# -------------------------------------------------------------- step binding
+
+
+def _compile_steps(
+    path: LocationPath, tags: TagDictionary, allow_predicates: bool
+) -> list[CompiledStep]:
+    steps = []
+    for step in path.steps:
+        tag_id = None
+        if step.test.kind == "name":
+            assert step.test.name is not None
+            tag_id = tags.lookup(step.test.name)
+        test = CompiledNodeTest.compile(step.test.kind, step.axis, tag_id)
+        predicates = []
+        for predicate in step.predicates:
+            if not allow_predicates:
+                raise UnsupportedQueryError(
+                    "nested predicates produce path instances with more than "
+                    "two incomplete ends; only the SIMPLE plan evaluates them"
+                )
+            predicates.append(_compile_predicate(predicate, tags))
+        steps.append(CompiledStep(step.axis, test, predicates))
+    return steps
+
+
+def _compile_predicate(expr: Expr, tags: TagDictionary) -> CompiledPredicate:
+    if isinstance(expr, PathExpr):
+        if expr.path.absolute:
+            raise UnsupportedQueryError("absolute paths in predicates are not supported")
+        return CompiledPredicate(_compile_steps(expr.path, tags, allow_predicates=True))
+    if isinstance(expr, Comparison):
+        left, right = expr.left, expr.right
+        if isinstance(right, PathExpr) and isinstance(left, (StringLiteral, NumberLiteral)):
+            left, right = right, left
+        if not isinstance(left, PathExpr) or not isinstance(
+            right, (StringLiteral, NumberLiteral)
+        ):
+            raise UnsupportedQueryError(
+                "predicates support comparisons between a relative path and a literal"
+            )
+        if left.path.absolute:
+            raise UnsupportedQueryError("absolute paths in predicates are not supported")
+        literal = (
+            right.value
+            if isinstance(right, StringLiteral)
+            else format(right.value, "g")
+        )
+        return CompiledPredicate(
+            _compile_steps(left.path, tags, allow_predicates=True),
+            op=expr.op,
+            literal=literal,
+        )
+    raise UnsupportedQueryError(f"unsupported predicate {expr}")
+
+
+def _rewrite_descendant(steps: list[CompiledStep]) -> list[CompiledStep]:
+    """Merge ``descendant-or-self::node()`` into the following step."""
+    out: list[CompiledStep] = []
+    i = 0
+    merged_axis = {
+        Axis.CHILD: Axis.DESCENDANT,
+        Axis.DESCENDANT: Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF: Axis.DESCENDANT_OR_SELF,
+        Axis.SELF: Axis.DESCENDANT_OR_SELF,
+    }
+    while i < len(steps):
+        step = steps[i]
+        is_dos_node = (
+            step.axis is Axis.DESCENDANT_OR_SELF
+            and step.test.is_node_test
+            and not step.predicates
+        )
+        if is_dos_node and i + 1 < len(steps) and steps[i + 1].axis in merged_axis:
+            nxt = steps[i + 1]
+            out.append(CompiledStep(merged_axis[nxt.axis], nxt.test, nxt.predicates))
+            i += 2
+        else:
+            out.append(step)
+            i += 1
+    return out
+
+
+# ---------------------------------------------------------------- path plans
+
+
+@dataclass
+class CompiledPathPlan:
+    """A location path bound to a document, ready to instantiate."""
+
+    steps: list[CompiledStep]
+    kind: PlanKind  #: resolved (never AUTO)
+    document: StoredDocument
+    descendant_root_opt: bool
+
+    def build(self, ctx: EvalContext) -> Operator:
+        """Instantiate the operator tree for one execution."""
+        contexts: list[NodeID] = [self.document.root]
+        source: Operator = ContextScan(ctx, contexts)
+        if self.kind is PlanKind.SIMPLE:
+            top = source
+            for index, step in enumerate(self.steps, start=1):
+                top = UnnestMap(ctx, top, index, step)
+            return DuplicateElimination(ctx, top)
+        if self.kind is PlanKind.XSCHEDULE:
+            schedule = XSchedule(ctx, source, self.steps)
+            top = schedule
+            for index, step in enumerate(self.steps, start=1):
+                top = XStep(ctx, top, index, step)
+            return XAssembly(ctx, top, len(self.steps), schedule=schedule)
+        if self.kind is PlanKind.XSCAN:
+            scan = XScan(ctx, source, self.steps, self.document)
+            top = scan
+            for index, step in enumerate(self.steps, start=1):
+                top = XStep(ctx, top, index, step)
+            return XAssembly(
+                ctx,
+                top,
+                len(self.steps),
+                schedule=None,
+                descendant_root_opt=self.descendant_root_opt,
+            )
+        raise UnsupportedQueryError(f"unresolved plan kind {self.kind}")
+
+    def run_count(self, ctx: EvalContext) -> int:
+        top = self.build(ctx)
+        try:
+            return count_results(top, ctx)
+        finally:
+            ctx.release()
+            ctx.fallback = False
+
+    def run_nodes(self, ctx: EvalContext, ordered: bool = True) -> list[NodeID]:
+        top = self.build(ctx)
+        try:
+            nids = result_nodeids(top)
+        finally:
+            ctx.release()
+            ctx.fallback = False
+        if ordered:
+            nids = order_results(ctx, nids)
+        return nids
+
+
+# ------------------------------------------------------------- query plans
+
+
+@dataclass
+class CompiledQuery:
+    """An expression with path plans at the leaves."""
+
+    expr: object  #: mirrored AST with CompiledPathPlan leaves
+    query: str
+    plan_kinds: list[PlanKind]
+    shared_scan: bool = False  #: evaluate all paths in one physical scan
+
+    def execute(self, ctx: EvalContext) -> tuple[float | None, list[NodeID] | None]:
+        """Run the query; returns ``(value, nodes)`` (one of them None)."""
+        if self.shared_scan:
+            return self._execute_shared(ctx)
+        if isinstance(self.expr, CompiledPathPlan):
+            return None, self.expr.run_nodes(ctx, ordered=True)
+        if isinstance(self.expr, tuple) and self.expr[0] == "union":
+            from repro.algebra.misc import order_results
+
+            return None, order_results(ctx, self._union_nodes(self.expr, ctx))
+        return self._number(self.expr, ctx), None
+
+    def _union_nodes(self, node: tuple, ctx: EvalContext) -> list[NodeID]:
+        """Node-set union with duplicate elimination (unordered)."""
+        merged: set[NodeID] = set()
+        for plan in node[1]:
+            merged.update(plan.run_nodes(ctx, ordered=False))
+            ctx.charge_set_op()
+        return list(merged)
+
+    # ----------------------------------------------------------- explain
+
+    def explain(self) -> str:
+        """Human-readable rendering of the physical plan."""
+        lines: list[str] = [f"query: {self.query}"]
+        if self.shared_scan:
+            lines.append("shared sequential scan over all paths")
+
+        def walk(node: object, indent: int) -> None:
+            pad = "  " * indent
+            if isinstance(node, float):
+                lines.append(f"{pad}const {node}")
+                return
+            if isinstance(node, CompiledPathPlan):
+                lines.append(f"{pad}path [{node.kind.value}]")
+                self._explain_path(node, lines, indent + 1)
+                return
+            op, left, right = node  # type: ignore[misc]
+            if op == "count":
+                lines.append(f"{pad}count")
+                walk(left, indent + 1)
+            elif op == "union":
+                lines.append(f"{pad}union")
+                for plan in left:
+                    walk(plan, indent + 1)
+            else:
+                lines.append(f"{pad}{op}")
+                walk(left, indent + 1)
+                walk(right, indent + 1)
+
+        walk(self.expr, 1)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _explain_path(plan: "CompiledPathPlan", lines: list[str], indent: int) -> None:
+        pad = "  " * indent
+        if plan.kind is PlanKind.SIMPLE:
+            lines.append(f"{pad}DuplicateElimination")
+            for index in range(len(plan.steps), 0, -1):
+                step = plan.steps[index - 1]
+                predicates = f" [{len(step.predicates)} predicates]" if step.predicates else ""
+                lines.append(f"{pad}  UnnestMap({index}: {step.axis.value}){predicates}")
+            lines.append(f"{pad}  ContextScan(root)")
+            return
+        opt = " +//-opt" if plan.descendant_root_opt else ""
+        lines.append(f"{pad}XAssembly(|pi|={len(plan.steps)}{opt})")
+        for index in range(len(plan.steps), 0, -1):
+            step = plan.steps[index - 1]
+            lines.append(f"{pad}  XStep({index}: {step.axis.value})")
+        io_op = "XSchedule" if plan.kind is PlanKind.XSCHEDULE else "XScan"
+        lines.append(f"{pad}  {io_op}")
+        lines.append(f"{pad}    ContextScan(root)")
+
+    # ------------------------------------------------------- shared scan
+
+    def _collect_plans(self, node: object, out: list["CompiledPathPlan"]) -> None:
+        if isinstance(node, CompiledPathPlan):
+            out.append(node)
+        elif isinstance(node, list):
+            for item in node:
+                self._collect_plans(item, out)
+        elif isinstance(node, tuple):
+            _, left, right = node
+            self._collect_plans(left, out)
+            if right is not None:
+                self._collect_plans(right, out)
+
+    def _execute_shared(self, ctx: EvalContext) -> tuple[float | None, list[NodeID] | None]:
+        from repro.algebra.misc import order_results
+        from repro.algebra.multiscan import shared_scan
+
+        plans: list[CompiledPathPlan] = []
+        self._collect_plans(self.expr, plans)
+        document = plans[0].document
+        if any(plan.document is not document for plan in plans):
+            raise UnsupportedQueryError("shared scan requires a single document")
+        result_sets = shared_scan(ctx, document, plans)
+        by_plan = {id(plan): nids for plan, nids in zip(plans, result_sets)}
+
+        def nodes_of(node: object) -> list:
+            if isinstance(node, CompiledPathPlan):
+                return by_plan[id(node)]
+            assert isinstance(node, tuple) and node[0] == "union"
+            merged = set()
+            for plan in node[1]:
+                merged.update(by_plan[id(plan)])
+            return list(merged)
+
+        def value_of(node: object) -> float:
+            if isinstance(node, float):
+                return node
+            op, left, right = node  # type: ignore[misc]
+            if op == "count":
+                ctx.charge_set_op()
+                return float(len(nodes_of(left)))
+            if op in ("=", "!="):
+                equal = value_of(left) == value_of(right)
+                return float(equal if op == "=" else not equal)
+            lv = value_of(left)
+            rv = value_of(right)
+            return lv + rv if op == "+" else lv - rv
+
+        if isinstance(self.expr, CompiledPathPlan):
+            return None, order_results(ctx, by_plan[id(self.expr)])
+        if isinstance(self.expr, tuple) and self.expr[0] == "union":
+            return None, order_results(ctx, nodes_of(self.expr))
+        return value_of(self.expr), None
+
+    def _number(self, node: object, ctx: EvalContext) -> float:
+        if isinstance(node, float):
+            return node
+        op, left, right = node  # type: ignore[misc]
+        if op == "count":
+            if isinstance(left, CompiledPathPlan):
+                return float(left.run_count(ctx))
+            assert isinstance(left, tuple) and left[0] == "union"
+            return float(len(self._union_nodes(left, ctx)))
+        if op in ("=", "!="):
+            lv = self._number(left, ctx)
+            rv = self._number(right, ctx)
+            equal = lv == rv
+            return float(equal if op == "=" else not equal)
+        lv = self._number(left, ctx)
+        rv = self._number(right, ctx)
+        return lv + rv if op == "+" else lv - rv
+
+
+def compile_query(
+    query: str | Expr,
+    document: StoredDocument,
+    tags: TagDictionary,
+    plan: PlanKind | str = PlanKind.AUTO,
+    options: EvalOptions | None = None,
+    geometry: DiskGeometry | None = None,
+) -> CompiledQuery:
+    """Compile ``query`` against ``document`` into an executable plan."""
+    expr = parse_query(query) if isinstance(query, str) else query
+    kind = PlanKind(plan) if not isinstance(plan, PlanKind) else plan
+    opts = options or EvalOptions()
+    geo = geometry or DiskGeometry()
+    kinds: list[PlanKind] = []
+
+    def compile_path(path: LocationPath) -> CompiledPathPlan:
+        if not path.absolute:
+            # relative queries evaluate from the document root context
+            pass
+        steps = _compile_steps(path, tags, allow_predicates=kind is PlanKind.SIMPLE)
+        starts_with_dos_root = bool(
+            path.absolute
+            and steps
+            and steps[0].axis is Axis.DESCENDANT_OR_SELF
+            and steps[0].test.is_node_test
+        )
+        if opts.rewrite_descendant:
+            steps = _rewrite_descendant(steps)
+        resolved = kind
+        if resolved is PlanKind.AUTO:
+            resolved = PlanKind(choose_io_operator(document, steps, geo))
+        desc_root_opt = (
+            opts.descendant_root_opt
+            and resolved in (PlanKind.XSCAN, PlanKind.XSCAN_SHARED)
+            and starts_with_dos_root
+            and steps
+            and steps[0].axis is Axis.DESCENDANT_OR_SELF
+            and steps[0].test.is_node_test
+        )
+        kinds.append(resolved)
+        path_kind = PlanKind.XSCAN if resolved is PlanKind.XSCAN_SHARED else resolved
+        return CompiledPathPlan(steps, path_kind, document, bool(desc_root_opt))
+
+    def walk(node: Expr) -> object:
+        if isinstance(node, NumberLiteral):
+            return node.value
+        if isinstance(node, StringLiteral):
+            raise UnsupportedQueryError(
+                "string literals are only supported inside predicates"
+            )
+        if isinstance(node, PathExpr):
+            return compile_path(node.path)
+        if isinstance(node, UnionExpr):
+            return ("union", [compile_path(p) for p in node.paths], None)
+        if isinstance(node, CountCall):
+            if isinstance(node.path, UnionExpr):
+                return ("count", ("union", [compile_path(p) for p in node.path.paths], None), None)
+            return ("count", compile_path(node.path), None)
+        if isinstance(node, (BinaryOp, Comparison)):
+            left = walk(node.left)
+            right = walk(node.right)
+            if _is_node_set(left) or _is_node_set(right):
+                raise UnsupportedQueryError(
+                    "node-set operands are only supported inside count() and predicates"
+                )
+            return (node.op, left, right)
+        raise UnsupportedQueryError(f"unsupported expression {node!r}")
+
+    compiled = walk(expr)
+    return CompiledQuery(
+        expr=compiled,
+        query=str(expr),
+        plan_kinds=kinds,
+        shared_scan=kind is PlanKind.XSCAN_SHARED,
+    )

@@ -1,0 +1,124 @@
+"""Cardinality and I/O estimation for the AUTO plan chooser.
+
+The paper's outlook calls for "a cost model to support the choice of the
+I/O-performing operator".  This module provides one: a per-step
+cardinality estimator over the schema statistics collected at import
+(tag counts, parent-child and ancestor-descendant tag-pair counts), and
+an I/O cost comparison between an XSchedule plan (random reads of the
+pages the path actually visits) and an XScan plan (a sequential pass over
+the whole document).
+
+The estimator tracks the result multiset as a distribution over tags,
+which is exact for paths over acyclic schemata like XMark's and a decent
+approximation elsewhere.  Upward and sibling steps are estimated crudely
+(whole-tag counts), which only makes AUTO conservative for such paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.axes import Axis
+from repro.algebra.steps import CompiledStep, UNKNOWN_TAG
+from repro.model.tags import DOCUMENT_TAG
+from repro.sim.disk import DiskGeometry
+from repro.storage.store import DocumentStatistics, StoredDocument
+
+
+@dataclass(frozen=True)
+class PathEstimate:
+    """Estimated work of one location path."""
+
+    result_cardinality: float  #: nodes in the final result
+    visited_nodes: float  #: node candidates the step operators enumerate
+    visited_fraction: float  #: visited_nodes / document nodes
+
+
+def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathEstimate:
+    """Estimate result cardinality and nodes visited for ``steps``."""
+    dist: dict[int, float] = {DOCUMENT_TAG: 1.0}
+    visited = 1.0
+    for step in steps:
+        new: dict[int, float] = {}
+        pairs = None
+        if step.axis in (Axis.CHILD, Axis.ATTRIBUTE):
+            pairs = stats.child_pairs
+        elif step.axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            pairs = stats.desc_pairs
+        if pairs is not None:
+            # enumeration of child candidates is intra-cluster (cheap);
+            # only the *matching* children may sit in other clusters and
+            # cost I/O.  Descendant steps sweep whole subtrees regardless.
+            sweeping = step.axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF)
+            for (source_tag, target_tag), pair_count in pairs.items():
+                weight = dist.get(source_tag)
+                if not weight:
+                    continue
+                total = stats.tag_counts.get(source_tag, 1)
+                reached = pair_count * (weight / total)
+                if sweeping:
+                    visited += reached
+                if _test_allows(step, target_tag):
+                    if not sweeping:
+                        visited += reached
+                    new[target_tag] = new.get(target_tag, 0.0) + reached
+            if step.axis is Axis.DESCENDANT_OR_SELF:
+                for tag, weight in dist.items():
+                    if _test_allows(step, tag):
+                        new[tag] = new.get(tag, 0.0) + weight
+        elif step.axis is Axis.SELF:
+            for tag, weight in dist.items():
+                if _test_allows(step, tag):
+                    new[tag] = weight
+        else:
+            # upward / sibling steps: assume every node of an allowed tag
+            # may qualify, capped by the current frontier size
+            frontier = sum(dist.values())
+            for tag, count in stats.tag_counts.items():
+                if _test_allows(step, tag):
+                    new[tag] = min(float(count), frontier * count / max(1, stats.n_nodes) + 1.0)
+            visited += frontier
+        dist = new
+        if not dist:
+            break
+    cardinality = sum(dist.values())
+    return PathEstimate(
+        result_cardinality=cardinality,
+        visited_nodes=visited,
+        visited_fraction=min(1.0, visited / max(1, stats.n_nodes)),
+    )
+
+
+def _test_allows(step: CompiledStep, tag: int) -> bool:
+    if step.test.tag == UNKNOWN_TAG:
+        return False
+    return step.test.tag is None or step.test.tag == tag
+
+
+def choose_io_operator(
+    document: StoredDocument,
+    steps: list[CompiledStep],
+    geometry: DiskGeometry,
+) -> str:
+    """Return ``"xscan"`` or ``"xschedule"`` by estimated I/O cost.
+
+    XScan reads every document page at streaming cost; XSchedule reads
+    roughly one page per cluster the path's candidate nodes occupy, at
+    random-access cost.  The cheaper side wins; ties favour XSchedule
+    (no speculative CPU overhead).
+    """
+    stats = document.statistics
+    if stats is None:
+        return "xschedule"
+    estimate = estimate_path(stats, steps)
+    n_pages = document.n_pages
+    nodes_per_page = max(1.0, stats.n_nodes / max(1, n_pages))
+    visited_pages = min(float(n_pages), estimate.visited_nodes / nodes_per_page)
+    sequential_cost = n_pages * geometry.transfer_time
+    random_unit = (
+        geometry.seek_time(max(1, n_pages // 3))
+        + geometry.rotational_latency
+        + geometry.transfer_time
+    )
+    random_cost = visited_pages * random_unit
+    return "xscan" if sequential_cost < random_cost else "xschedule"

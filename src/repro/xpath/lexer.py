@@ -1,0 +1,94 @@
+"""Tokenizer for the XPath subset.
+
+Names may contain ``-`` and ``.`` after the first character (XPath
+NCNames); consequently a binary minus must be separated from a preceding
+name by whitespace, as in XPath proper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XPathSyntaxError
+
+#: Token types with fixed spellings, longest first.
+_PUNCTUATION = [
+    ("//", "DOUBLE_SLASH"),
+    ("/", "SLASH"),
+    ("::", "AXIS_SEP"),
+    ("..", "DOTDOT"),
+    (".", "DOT"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("@", "AT"),
+    ("+", "PLUS"),
+    ("-", "MINUS"),
+    ("*", "STAR"),
+    (",", "COMMA"),
+    ("|", "PIPE"),
+    ("!=", "NEQ"),
+    ("=", "EQ"),
+]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+_DIGITS = set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}@{self.position})"
+
+
+def tokenize(query: str) -> list[Token]:
+    """Split ``query`` into tokens; raises :class:`XPathSyntaxError`."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(query)
+    while pos < length:
+        ch = query[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch in _DIGITS:
+            start = pos
+            while pos < length and query[pos] in _DIGITS:
+                pos += 1
+            if pos < length and query[pos] == "." and pos + 1 < length and query[pos + 1] in _DIGITS:
+                pos += 1
+                while pos < length and query[pos] in _DIGITS:
+                    pos += 1
+            tokens.append(Token("NUMBER", query[start:pos], start))
+            continue
+        if ch in ("'", '"'):
+            end = query.find(ch, pos + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", pos)
+            tokens.append(Token("STRING", query[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        if ch in _NAME_START:
+            start = pos
+            while pos < length and query[pos] in _NAME_CHARS:
+                pos += 1
+            # a trailing '.' or '-' belongs to punctuation, not the name
+            while query[pos - 1] in ".-":
+                pos -= 1
+            tokens.append(Token("NAME", query[start:pos], start))
+            continue
+        for literal, token_type in _PUNCTUATION:
+            if query.startswith(literal, pos):
+                tokens.append(Token(token_type, literal, pos))
+                pos += len(literal)
+                break
+        else:
+            raise XPathSyntaxError(f"unexpected character {ch!r}", pos)
+    tokens.append(Token("EOF", "", length))
+    return tokens

@@ -1,0 +1,239 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (see package docstring for the supported feature set)::
+
+    Query        := AdditiveExpr EOF
+    AdditiveExpr := UnionExpr (('+' | '-') UnionExpr)*
+    UnionExpr    := Primary                 # '|' reserved, rejected for now
+    Primary      := Number
+                  | 'count' '(' LocationPath ')'
+                  | '(' AdditiveExpr ')'
+                  | LocationPath
+    LocationPath := '/' RelativePath?
+                  | '//' RelativePath
+                  | RelativePath
+    RelativePath := Step (('/' | '//') Step)*
+    Step         := '.' | '..'
+                  | '@' NodeTest Predicate*
+                  | (AxisName '::')? NodeTest Predicate*
+    NodeTest     := Name | '*' | 'text' '()' | 'node' '()' | 'comment' '()'
+    Predicate    := '[' AdditiveExpr ']'
+
+The abbreviation ``//`` expands to ``/descendant-or-self::node()/`` as in
+the XPath recommendation.
+"""
+
+from __future__ import annotations
+
+from repro.axes import Axis
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    Comparison,
+    CountCall,
+    Expr,
+    LocationPath,
+    NodeTestAst,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+)
+from repro.xpath.lexer import Token, tokenize
+
+_AXIS_NAMES = {axis.value: axis for axis in Axis}
+
+_DESC_OR_SELF_NODE = Step(Axis.DESCENDANT_OR_SELF, NodeTestAst("node"))
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ---------------------------------------------------------- primitives
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, token_type: str) -> Token | None:
+        if self.peek().type == token_type:
+            return self.advance()
+        return None
+
+    def expect(self, token_type: str, context: str) -> Token:
+        token = self.peek()
+        if token.type != token_type:
+            raise XPathSyntaxError(
+                f"expected {token_type} in {context}, found {token.type} {token.value!r}",
+                token.position,
+            )
+        return self.advance()
+
+    # -------------------------------------------------------------- grammar
+
+    def parse_query(self) -> Expr:
+        expr = self.parse_comparison()
+        self.expect("EOF", "query")
+        return expr
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.type in ("EQ", "NEQ"):
+            self.advance()
+            right = self.parse_additive()
+            return Comparison("=" if token.type == "EQ" else "!=", left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_union()
+        while self.peek().type in ("PLUS", "MINUS"):
+            op = self.advance()
+            right = self.parse_union()
+            left = BinaryOp("+" if op.type == "PLUS" else "-", left, right)
+        return left
+
+    def parse_union(self) -> Expr:
+        left = self.parse_primary()
+        if self.peek().type != "PIPE":
+            return left
+        paths = [self._as_path(left)]
+        while self.accept("PIPE"):
+            paths.append(self._as_path(self.parse_primary()))
+        return UnionExpr(paths)
+
+    def _as_path(self, expr: Expr) -> LocationPath:
+        if not isinstance(expr, PathExpr):
+            raise XPathSyntaxError("union operands must be location paths", self.peek().position)
+        return expr.path
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type == "NUMBER":
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type == "STRING":
+            self.advance()
+            return StringLiteral(token.value)
+        if token.type == "LPAREN":
+            self.advance()
+            expr = self.parse_comparison()
+            self.expect("RPAREN", "parenthesised expression")
+            return expr
+        if token.type == "NAME" and token.value == "count" and self._lookahead_is("LPAREN"):
+            self.advance()
+            self.advance()
+            node_set = self.parse_union()
+            if isinstance(node_set, PathExpr):
+                node_set = node_set.path
+            elif not isinstance(node_set, UnionExpr):
+                raise XPathSyntaxError("count() expects a node set", token.position)
+            self.expect("RPAREN", "count()")
+            return CountCall(node_set)
+        if token.type == "NAME" and self._lookahead_is("LPAREN") and token.value not in (
+            "text",
+            "node",
+            "comment",
+        ):
+            raise XPathSyntaxError(f"unsupported function {token.value!r}()", token.position)
+        return PathExpr(self.parse_location_path())
+
+    def _lookahead_is(self, token_type: str) -> bool:
+        return self.tokens[self.index + 1].type == token_type
+
+    def parse_location_path(self) -> LocationPath:
+        token = self.peek()
+        if token.type == "SLASH":
+            self.advance()
+            if self._starts_step():
+                return LocationPath(True, self.parse_relative_steps())
+            return LocationPath(True, [])
+        if token.type == "DOUBLE_SLASH":
+            self.advance()
+            steps = [_copy_step(_DESC_OR_SELF_NODE)]
+            steps.extend(self.parse_relative_steps())
+            return LocationPath(True, steps)
+        return LocationPath(False, self.parse_relative_steps())
+
+    def _starts_step(self) -> bool:
+        return self.peek().type in ("NAME", "STAR", "AT", "DOT", "DOTDOT")
+
+    def parse_relative_steps(self) -> list[Step]:
+        steps = [self.parse_step()]
+        while True:
+            if self.accept("SLASH"):
+                steps.append(self.parse_step())
+            elif self.accept("DOUBLE_SLASH"):
+                steps.append(_copy_step(_DESC_OR_SELF_NODE))
+                steps.append(self.parse_step())
+            else:
+                return steps
+
+    def parse_step(self) -> Step:
+        token = self.peek()
+        if token.type == "DOT":
+            self.advance()
+            return Step(Axis.SELF, NodeTestAst("node"))
+        if token.type == "DOTDOT":
+            self.advance()
+            return Step(Axis.PARENT, NodeTestAst("node"))
+        if token.type == "AT":
+            self.advance()
+            test = self.parse_node_test(default_axis=Axis.ATTRIBUTE)
+            return self._with_predicates(Step(Axis.ATTRIBUTE, test))
+        axis = Axis.CHILD
+        if token.type == "NAME" and token.value in _AXIS_NAMES and self._lookahead_is("AXIS_SEP"):
+            self.advance()
+            self.advance()
+            axis = _AXIS_NAMES[token.value]
+        elif token.type == "NAME" and self._lookahead_is("AXIS_SEP"):
+            raise XPathSyntaxError(f"unknown axis {token.value!r}", token.position)
+        test = self.parse_node_test(default_axis=axis)
+        return self._with_predicates(Step(axis, test))
+
+    def parse_node_test(self, default_axis: Axis) -> NodeTestAst:
+        token = self.peek()
+        if token.type == "STAR":
+            self.advance()
+            return NodeTestAst("wildcard")
+        if token.type == "NAME":
+            if token.value in ("text", "node", "comment") and self._lookahead_is("LPAREN"):
+                self.advance()
+                self.advance()
+                self.expect("RPAREN", f"{token.value}() test")
+                return NodeTestAst(token.value)
+            self.advance()
+            return NodeTestAst("name", token.value)
+        raise XPathSyntaxError(
+            f"expected a node test, found {token.type} {token.value!r}", token.position
+        )
+
+    def _with_predicates(self, step: Step) -> Step:
+        while self.accept("LBRACKET"):
+            step.predicates.append(self.parse_comparison())
+            self.expect("RBRACKET", "predicate")
+        return step
+
+
+def _copy_step(step: Step) -> Step:
+    return Step(step.axis, step.test, list(step.predicates))
+
+
+def parse_query(query: str) -> Expr:
+    """Parse a query string into an expression AST."""
+    return _Parser(tokenize(query)).parse_query()
+
+
+def parse_path(query: str) -> LocationPath:
+    """Parse a query that must be a bare location path."""
+    expr = parse_query(query)
+    if not isinstance(expr, PathExpr):
+        raise XPathSyntaxError("expected a bare location path", 0)
+    return expr.path

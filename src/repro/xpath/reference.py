@@ -1,0 +1,182 @@
+"""Reference XPath evaluation over the logical tree.
+
+A direct, storage-oblivious implementation of the supported XPath subset
+on :class:`~repro.model.tree.LogicalTree`.  It is the ground truth the
+test suite compares every physical plan against (Simple, XSchedule,
+XScan, with and without speculation and fallback must all agree with it),
+and a convenient way for library users to sanity-check results on small
+documents.
+"""
+
+from __future__ import annotations
+
+from repro.axes import Axis
+from repro.errors import UnsupportedQueryError
+from repro.model.tree import NIL, Kind, LogicalTree
+from repro.xpath.ast import (
+    BinaryOp,
+    Comparison,
+    CountCall,
+    Expr,
+    LocationPath,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+)
+from repro.xpath.parser import parse_query
+
+
+def string_value(tree: LogicalTree, node: int) -> str:
+    """XPath string value: own value for text/attributes, concatenated
+    text descendants for elements and the root."""
+    if tree.kind_of(node) in (Kind.TEXT, Kind.ATTRIBUTE):
+        return tree.value_of(node) or ""
+    return "".join(
+        tree.value_of(n) or ""
+        for n in tree.descendants(node)
+        if tree.kind_of(n) == Kind.TEXT
+    )
+
+
+def _axis_nodes(tree: LogicalTree, node: int, axis: Axis) -> list[int]:
+    if axis is Axis.SELF:
+        return [node]
+    if axis is Axis.CHILD:
+        return [c for c in tree.element_children(node)]
+    if axis is Axis.ATTRIBUTE:
+        return [a for a in tree.attributes(node)]
+    if axis is Axis.DESCENDANT:
+        return list(tree.descendants(node))
+    if axis is Axis.DESCENDANT_OR_SELF:
+        return list(tree.descendants(node, include_self=True))
+    if axis is Axis.PARENT:
+        p = tree.parent_of(node)
+        return [p] if p != NIL else []
+    if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        out = [node] if axis is Axis.ANCESTOR_OR_SELF else []
+        p = tree.parent_of(node)
+        while p != NIL:
+            out.append(p)
+            p = tree.parent_of(p)
+        return out
+    if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+        p = tree.parent_of(node)
+        if p == NIL:
+            return []
+        siblings = [c for c in tree.element_children(p)]
+        if node not in siblings:  # attribute nodes have no siblings here
+            return []
+        index = siblings.index(node)
+        if axis is Axis.FOLLOWING_SIBLING:
+            return siblings[index + 1 :]
+        return list(reversed(siblings[:index]))
+    raise UnsupportedQueryError(f"axis {axis} not supported by the reference evaluator")
+
+
+def _test_matches(tree: LogicalTree, node: int, step: Step, axis: Axis) -> bool:
+    kind = tree.kind_of(node)
+    test = step.test
+    if axis is Axis.ATTRIBUTE:
+        if kind != Kind.ATTRIBUTE:
+            return False
+        if test.kind in ("name",):
+            return tree.tag_name(node) == test.name
+        return test.kind in ("wildcard", "node")
+    if test.kind == "name":
+        return kind == Kind.ELEMENT and tree.tag_name(node) == test.name
+    if test.kind == "wildcard":
+        return kind == Kind.ELEMENT
+    if test.kind == "text":
+        return kind == Kind.TEXT
+    if test.kind == "node":
+        return kind in (Kind.ELEMENT, Kind.TEXT, Kind.DOCUMENT)
+    if test.kind == "comment":
+        return False
+    raise UnsupportedQueryError(f"node test {test.kind!r}")
+
+
+def evaluate_steps(tree: LogicalTree, contexts: list[int], steps: list[Step]) -> list[int]:
+    """Evaluate location steps over contexts; result in document order."""
+    current = set(contexts)
+    for step in steps:
+        produced: set[int] = set()
+        for node in current:
+            for candidate in _axis_nodes(tree, node, step.axis):
+                if not _test_matches(tree, candidate, step, step.axis):
+                    continue
+                if all(
+                    _predicate_holds(tree, candidate, p) for p in step.predicates
+                ):
+                    produced.add(candidate)
+        current = produced
+    return sorted(current)  # node ids are preorder ranks == document order
+
+
+def _predicate_holds(tree: LogicalTree, node: int, expr: Expr) -> bool:
+    if isinstance(expr, PathExpr):
+        return bool(evaluate_steps(tree, [node], _as_relative(expr)))
+    if isinstance(expr, Comparison):
+        left, right = expr.left, expr.right
+        if isinstance(right, PathExpr) and isinstance(left, (StringLiteral, NumberLiteral)):
+            left, right = right, left
+        if isinstance(left, PathExpr) and isinstance(right, (StringLiteral, NumberLiteral)):
+            literal = (
+                right.value if isinstance(right, StringLiteral) else format(right.value, "g")
+            )
+            candidates = evaluate_steps(tree, [node], _as_relative(left))
+            values = (string_value(tree, c) for c in candidates)
+            if expr.op == "=":
+                return any(v == literal for v in values)
+            return any(v != literal for v in values)
+    raise UnsupportedQueryError(f"unsupported predicate {expr}")
+
+
+def _as_relative(expr: Expr) -> list[Step]:
+    if not isinstance(expr, PathExpr) or expr.path.absolute:
+        raise UnsupportedQueryError("only relative-path predicates are supported")
+    return expr.path.steps
+
+
+def evaluate_path(tree: LogicalTree, path: LocationPath) -> list[int]:
+    """Evaluate a location path from the document root."""
+    return evaluate_steps(tree, [tree.root], path.steps)
+
+
+def _evaluate_node_set(tree: LogicalTree, node_set: "LocationPath | UnionExpr") -> list[int]:
+    if isinstance(node_set, UnionExpr):
+        merged: set[int] = set()
+        for path in node_set.paths:
+            merged.update(evaluate_path(tree, path))
+        return sorted(merged)
+    return evaluate_path(tree, node_set)
+
+
+def evaluate_query(tree: LogicalTree, query: str | Expr) -> float | list[int]:
+    """Evaluate a full query; numbers for arithmetic, node lists for paths."""
+    expr = parse_query(query) if isinstance(query, str) else query
+    if isinstance(expr, PathExpr):
+        return evaluate_path(tree, expr.path)
+    if isinstance(expr, UnionExpr):
+        return _evaluate_node_set(tree, expr)
+    if isinstance(expr, CountCall):
+        return float(len(_evaluate_node_set(tree, expr.path)))
+    if isinstance(expr, NumberLiteral):
+        return expr.value
+    if isinstance(expr, Comparison):
+        left = evaluate_query(tree, expr.left)
+        right = evaluate_query(tree, expr.right)
+        if isinstance(left, list) or isinstance(right, list):
+            raise UnsupportedQueryError(
+                "node-set comparisons are only supported inside predicates"
+            )
+        equal = left == right
+        return float(equal if expr.op == "=" else not equal)
+    if isinstance(expr, BinaryOp):
+        left = evaluate_query(tree, expr.left)
+        right = evaluate_query(tree, expr.right)
+        if isinstance(left, list) or isinstance(right, list):
+            raise UnsupportedQueryError("node-set arithmetic is not supported")
+        return left + right if expr.op == "+" else left - right
+    raise UnsupportedQueryError(f"unsupported expression {expr!r}")

@@ -1,0 +1,94 @@
+"""Tests for concurrent query execution."""
+
+import pytest
+
+from repro import EvalOptions
+from repro.algebra.concurrent import run_concurrent
+from repro.errors import PlanError
+
+from tests.conftest import small_database
+
+
+@pytest.fixture(scope="module")
+def db_tree():
+    return small_database(seed=21, n_top=60)
+
+
+def test_single_query_matches_solo(db_tree):
+    db, _ = db_tree
+    solo = db.execute("count(//a)", doc="d", plan="xschedule")
+    outcome = run_concurrent(db, [("count(//a)", "d", "xschedule")])
+    assert outcome.results[0].value == solo.value
+    assert outcome.total_time == pytest.approx(solo.total_time, rel=0.05)
+
+
+def test_two_queries_correct_answers(db_tree):
+    db, _ = db_tree
+    expected_a = db.execute("count(//a)", doc="d", plan="xschedule").value
+    expected_b = db.execute("count(//b)", doc="d", plan="xschedule").value
+    outcome = run_concurrent(
+        db,
+        [("count(//a)", "d", "xschedule"), ("count(//b)", "d", "xschedule")],
+    )
+    assert outcome.results[0].value == expected_a
+    assert outcome.results[1].value == expected_b
+    assert all(r.finished_at <= outcome.total_time for r in outcome.results)
+
+
+def test_node_queries_in_document_order(db_tree):
+    db, _ = db_tree
+    solo = db.execute("//a/b", doc="d", plan="xscan")
+    outcome = run_concurrent(
+        db, [("//a/b", "d", "xscan"), ("count(//c)", "d", "xschedule")]
+    )
+    assert outcome.results[0].nodes == solo.nodes
+
+
+def test_mixed_plans(db_tree):
+    db, _ = db_tree
+    outcome = run_concurrent(
+        db,
+        [
+            ("count(//a)", "d", "simple"),
+            ("count(//a)", "d", "xschedule"),
+            ("count(//a)", "d", "xscan"),
+        ],
+    )
+    values = {r.value for r in outcome.results}
+    assert len(values) == 1
+
+
+def test_concurrency_beats_serial_cold_runs(db_tree):
+    """Shared buffer + deeper disk queue: running together is cheaper
+    than the sum of independent cold runs."""
+    db, _ = db_tree
+    queries = [("count(//a)", "d", "xschedule"), ("count(//b)", "d", "xschedule")]
+    serial = sum(db.execute(q, doc=d, plan=p).total_time for q, d, p in queries)
+    outcome = run_concurrent(db, queries)
+    assert outcome.total_time < serial
+
+
+def test_cpu_serialises(db_tree):
+    """One simulated CPU: concurrent CPU time is the sum of the parts."""
+    db, _ = db_tree
+    solo_cpu = db.execute("count(//a)", doc="d", plan="xschedule").cpu_time
+    outcome = run_concurrent(
+        db, [("count(//a)", "d", "xschedule"), ("count(//a)", "d", "xschedule")]
+    )
+    # second run shares buffered pages but repeats the navigation CPU
+    assert outcome.cpu_time > 1.5 * solo_cpu
+
+
+def test_expression_query_concurrent(db_tree):
+    db, _ = db_tree
+    solo = db.execute("count(//a) + count(//b)", doc="d", plan="xschedule")
+    outcome = run_concurrent(
+        db, [("count(//a) + count(//b)", "d", "xschedule"), ("count(//c)", "d", "simple")]
+    )
+    assert outcome.results[0].value == solo.value
+
+
+def test_empty_request_list_rejected(db_tree):
+    db, _ = db_tree
+    with pytest.raises(PlanError):
+        run_concurrent(db, [])

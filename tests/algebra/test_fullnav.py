@@ -1,0 +1,102 @@
+"""Tests for full-tree navigation (Simple method / fallback mode)."""
+
+import pytest
+
+from repro.axes import Axis
+from repro.algebra.fullnav import exists_path, full_axis
+from repro.algebra.steps import CompiledNodeTest, CompiledStep
+from repro.storage.nodeid import make_nodeid, page_of, slot_of
+
+from tests.paper_tree import build_paper_tree
+
+
+@pytest.fixture()
+def paper():
+    return build_paper_tree()
+
+
+def run_axis(paper, name, axis, resumed=False):
+    ctx = paper.db.make_context()
+    nid = paper.nodes[name]
+    reverse = {v: k for k, v in paper.nodes.items()}
+    out = [
+        reverse[make_nodeid(p, s)]
+        for p, s in full_axis(ctx, page_of(nid), slot_of(nid), axis, resumed=resumed)
+    ]
+    ctx.release()
+    return out, ctx
+
+
+def test_child_crosses_borders(paper):
+    names, ctx = run_axis(paper, "d1", Axis.CHILD)
+    assert names == ["a2", "c2", "d4"]
+    assert ctx.stats.buffer_misses >= 3  # d, a, c pages
+
+
+def test_descendant_covers_whole_tree(paper):
+    names, _ = run_axis(paper, "d1", Axis.DESCENDANT)
+    assert set(names) == {"a2", "a3", "c2", "c3", "c4", "d4", "b2"}
+
+
+def test_descendant_in_document_order(paper):
+    names, _ = run_axis(paper, "d1", Axis.DESCENDANT)
+    assert names == ["a2", "a3", "c2", "c3", "c4", "d4", "b2"]
+
+
+def test_ancestor_crosses_up(paper):
+    names, _ = run_axis(paper, "a3", Axis.ANCESTOR)
+    assert names == ["a2", "d1"]
+
+
+def test_following_sibling_across_clusters(paper):
+    names, _ = run_axis(paper, "a2", Axis.FOLLOWING_SIBLING)
+    assert names == ["c2", "d4"]
+
+
+def test_preceding_sibling_across_clusters(paper):
+    names, _ = run_axis(paper, "d4", Axis.PRECEDING_SIBLING)
+    assert set(names) == {"a2", "c2"}
+
+
+def test_abandoned_generator_releases_pins(paper):
+    """Early termination (as in exists_path) must unfix everything."""
+    ctx = paper.db.make_context()
+    nid = paper.nodes["d1"]
+    gen = full_axis(ctx, page_of(nid), slot_of(nid), Axis.DESCENDANT)
+    next(gen)
+    gen.close()
+    assert ctx.buffer.n_resident >= 1
+    # all frames unpinned: a full buffer sweep can evict everything
+    for _ in range(ctx.buffer.capacity + 1):
+        pass
+    frame = ctx.buffer.fix(page_of(nid))
+    ctx.buffer.unfix(frame)
+
+
+def name_step(paper, name, axis=Axis.CHILD):
+    tag = paper.db.tags.lookup(name)
+    return CompiledStep(axis, CompiledNodeTest.compile("name", axis, tag))
+
+
+def test_exists_path_true(paper):
+    ctx = paper.db.make_context()
+    nid = paper.nodes["d1"]
+    steps = [name_step(paper, "A"), name_step(paper, "B")]
+    assert exists_path(ctx, page_of(nid), slot_of(nid), steps)
+
+
+def test_exists_path_false(paper):
+    ctx = paper.db.make_context()
+    nid = paper.nodes["d1"]
+    steps = [name_step(paper, "C"), name_step(paper, "B")]
+    assert not exists_path(ctx, page_of(nid), slot_of(nid), steps)
+
+
+def test_exists_path_short_circuits(paper):
+    """The first witness suffices: cluster b is never needed for /A."""
+    ctx = paper.db.make_context()
+    nid = paper.nodes["d1"]
+    exists_path(ctx, page_of(nid), slot_of(nid), [name_step(paper, "A")])
+    from tests.paper_tree import PAGE_B
+
+    assert not ctx.buffer.is_resident(PAGE_B)

@@ -1,0 +1,60 @@
+"""Tests for the shared-scan multi-path extension."""
+
+import pytest
+
+from repro.xmark import Q7
+
+from tests.conftest import small_database
+
+
+@pytest.fixture(scope="module")
+def db_tree():
+    return small_database(seed=31, n_top=60)
+
+
+def test_shared_scan_counts_match(db_tree):
+    db, _ = db_tree
+    query = "count(//a)+count(//b)+count(//c)"
+    separate = db.execute(query, doc="d", plan="xscan")
+    shared = db.execute(query, doc="d", plan="xscan-shared")
+    assert shared.value == separate.value
+
+
+def test_shared_scan_single_path(db_tree):
+    db, _ = db_tree
+    separate = db.execute("//a/b", doc="d", plan="xscan")
+    shared = db.execute("//a/b", doc="d", plan="xscan-shared")
+    assert shared.nodes == separate.nodes
+
+
+def test_shared_scan_reads_document_once(db_tree):
+    db, _ = db_tree
+    doc = db.document("d")
+    query = "count(//a)+count(//b)+count(//c)"
+    separate = db.execute(query, doc="d", plan="xscan")
+    shared = db.execute(query, doc="d", plan="xscan-shared")
+    assert shared.stats.clusters_visited == doc.n_pages
+    assert separate.stats.clusters_visited == 3 * doc.n_pages
+    assert shared.stats.pages_read < separate.stats.pages_read
+
+
+def test_shared_scan_faster_than_separate_scans(db_tree):
+    db, _ = db_tree
+    query = "count(//a)+count(//b)+count(//c)"
+    separate = db.execute(query, doc="d", plan="xscan")
+    shared = db.execute(query, doc="d", plan="xscan-shared")
+    assert shared.total_time < separate.total_time
+
+
+def test_shared_scan_on_xmark_q7(xmark_small):
+    db, _ = xmark_small
+    separate = db.execute(Q7, doc="xmark", plan="xscan")
+    shared = db.execute(Q7, doc="xmark", plan="xscan-shared")
+    assert shared.value == separate.value
+    assert shared.total_time < separate.total_time
+
+
+def test_shared_scan_plan_kind_reported(db_tree):
+    db, _ = db_tree
+    shared = db.execute("count(//a)+count(//b)", doc="d", plan="xscan-shared")
+    assert all(k.value == "xscan-shared" for k in shared.plan_kinds)

@@ -1,0 +1,104 @@
+"""Unit tests for individual physical operators."""
+
+import pytest
+
+from repro.algebra.base import Operator
+from repro.algebra.misc import (
+    ContextScan,
+    DuplicateElimination,
+    count_results,
+    order_results,
+    result_nodeids,
+)
+from repro.algebra.pathinstance import PathInstance
+from repro.errors import PlanError
+from repro.storage.nodeid import make_nodeid, page_of, slot_of
+
+from tests.paper_tree import PAGE_A, PAGE_D, build_paper_tree
+
+
+@pytest.fixture()
+def paper():
+    return build_paper_tree()
+
+
+class ListSource(Operator):
+    """Test helper: replay a fixed list of instances."""
+
+    def __init__(self, ctx, items):
+        super().__init__(ctx)
+        self.items = items
+
+    def _produce(self):
+        yield from self.items
+
+
+def test_context_scan_emits_trivial_instances(paper):
+    ctx = paper.db.make_context()
+    scan = ContextScan(ctx, [paper.nodes["d1"], paper.nodes["a2"]])
+    scan.open()
+    first = scan.next()
+    assert (first.s_l, first.s_r) == (0, 0)
+    assert not first.left_open and not first.is_border
+    assert make_nodeid(first.page_no, first.slot) == paper.nodes["d1"]
+    second = scan.next()
+    assert make_nodeid(second.page_no, second.slot) == paper.nodes["a2"]
+    assert scan.next() is None
+    scan.close()
+
+
+def test_next_before_open_raises(paper):
+    ctx = paper.db.make_context()
+    scan = ContextScan(ctx, [])
+    with pytest.raises(PlanError):
+        scan.next()
+
+
+def test_duplicate_elimination(paper):
+    ctx = paper.db.make_context()
+    nid = paper.nodes["a3"]
+    instance = PathInstance(0, None, False, 1, slot_of(nid), False, page_no=page_of(nid))
+    other = paper.nodes["c4"]
+    instance2 = PathInstance(0, None, False, 1, slot_of(other), False, page_no=page_of(other))
+    source = ListSource(ctx, [instance, instance2, instance])
+    dedup = DuplicateElimination(ctx, source)
+    assert result_nodeids(dedup) == [nid, other]
+    assert ctx.stats.duplicates_suppressed == 1
+
+
+def test_count_results(paper):
+    ctx = paper.db.make_context()
+    items = [
+        PathInstance(0, None, False, 1, 1, False, page_no=0),
+        PathInstance(0, None, False, 1, 2, False, page_no=0),
+    ]
+    assert count_results(ListSource(ctx, items), ctx) == 2
+
+
+def test_order_results_uses_ordpaths(paper):
+    ctx = paper.db.make_context()
+    # c4 comes after a3 in document order regardless of input order
+    ordered = order_results(ctx, [paper.nodes["c4"], paper.nodes["a3"]])
+    assert ordered == [paper.nodes["a3"], paper.nodes["c4"]]
+    # ordering pays swizzles (buffer fixes)
+    assert ctx.stats.swizzles >= 2
+
+
+def test_operator_iterator_protocol(paper):
+    ctx = paper.db.make_context()
+    items = [PathInstance(0, None, False, 0, 0, False, page_no=PAGE_D)]
+    source = ListSource(ctx, items)
+    source.open()
+    drained = list(source)
+    assert len(drained) == 1
+    source.close()
+    # closing twice is harmless
+    source.close()
+
+
+def test_iterator_call_costs_charged(paper):
+    ctx = paper.db.make_context()
+    source = ListSource(ctx, [PathInstance(0, None, False, 0, 0, False, page_no=0)] * 10)
+    cpu_before = ctx.clock.cpu_time
+    count_results(source, ctx)
+    assert ctx.clock.cpu_time > cpu_before

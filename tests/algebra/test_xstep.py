@@ -1,0 +1,141 @@
+"""Unit tests for the XStep operator's applicability and outputs."""
+
+import pytest
+
+from repro.axes import Axis
+from repro.algebra.base import Operator
+from repro.algebra.pathinstance import PathInstance
+from repro.algebra.steps import CompiledNodeTest, CompiledPredicate, CompiledStep
+from repro.algebra.xstep import XStep
+from repro.errors import PlanError
+from repro.storage.nodeid import make_nodeid, page_of, slot_of
+
+from tests.paper_tree import PAGE_A, PAGE_D, build_paper_tree
+
+
+class ListSource(Operator):
+    def __init__(self, ctx, items):
+        super().__init__(ctx)
+        self.items = items
+
+    def _produce(self):
+        yield from self.items
+
+
+@pytest.fixture()
+def paper():
+    return build_paper_tree()
+
+
+def make_step(paper, axis, name=None, kind="name"):
+    tag = paper.db.tags.lookup(name) if name else None
+    return CompiledStep(axis, CompiledNodeTest.compile(kind if name or kind != "name" else "name", axis, tag))
+
+
+def pin(paper, page_no):
+    ctx = paper.db.make_context()
+    frame = ctx.buffer.fix(page_no)
+    ctx.set_current_frame(frame)
+    return ctx
+
+
+def drain(op):
+    op.open()
+    out = []
+    while True:
+        item = op.next()
+        if item is None:
+            op.close()
+            return out
+        out.append(item)
+
+
+def test_applicable_instance_extended(paper):
+    ctx = pin(paper, PAGE_D)
+    d1 = paper.nodes["d1"]
+    context = PathInstance(0, d1, False, 0, slot_of(d1), False, page_no=PAGE_D)
+    step = make_step(paper, Axis.CHILD, "C")
+    out = drain(XStep(ctx, ListSource(ctx, [context]), 1, step))
+    # two deferred borders (a, c tested later) + d4 matching C
+    borders = [i for i in out if i.is_border]
+    cores = [i for i in out if not i.is_border]
+    assert len(borders) == 2
+    assert len(cores) == 1 and cores[0].s_r == 1
+    assert ctx.stats.border_crossings_deferred == 2
+    ctx.release()
+
+
+def test_non_applicable_passes_through(paper):
+    ctx = pin(paper, PAGE_D)
+    stale = PathInstance(0, None, False, 5, 0, False, page_no=PAGE_D)
+    step = make_step(paper, Axis.CHILD, "C")
+    out = drain(XStep(ctx, ListSource(ctx, [stale]), 1, step))
+    assert out == [stale]
+    ctx.release()
+
+
+def test_paused_instance_not_reprocessed(paper):
+    """A border produced by this step is NOT applicable to later steps."""
+    ctx = pin(paper, PAGE_D)
+    paused = PathInstance(0, None, False, 0, slot_of(paper.nodes["d2"]), True, page_no=PAGE_D)
+    step2 = make_step(paper, Axis.CHILD, "B")
+    out = drain(XStep(ctx, ListSource(ctx, [paused]), 2, step2))
+    assert out == [paused]  # s_r=0 != 1, passes through untouched
+    ctx.release()
+
+
+def test_resumed_instance_processed(paper):
+    ctx = pin(paper, PAGE_A)
+    resumed = PathInstance(
+        0, None, False, 0, slot_of(paper.nodes["a1"]), True, resumed=True, page_no=PAGE_A
+    )
+    step = make_step(paper, Axis.CHILD, "A")
+    out = drain(XStep(ctx, ListSource(ctx, [resumed]), 1, step))
+    assert len(out) == 1
+    assert not out[0].is_border
+    assert make_nodeid(out[0].page_no, out[0].slot) == paper.nodes["a2"]
+    ctx.release()
+
+
+def test_failed_node_test_kills_instance(paper):
+    ctx = pin(paper, PAGE_A)
+    resumed = PathInstance(
+        0, None, False, 0, slot_of(paper.nodes["a1"]), True, resumed=True, page_no=PAGE_A
+    )
+    step = make_step(paper, Axis.CHILD, "Z", kind="name")  # unknown tag
+    out = drain(XStep(ctx, ListSource(ctx, [resumed]), 1, step))
+    assert out == []
+    ctx.release()
+
+
+def test_left_open_flag_propagates(paper):
+    ctx = pin(paper, PAGE_A)
+    speculative = PathInstance(
+        1, paper.nodes["a1"], True, 1, slot_of(paper.nodes["a1"]), True,
+        resumed=True, page_no=PAGE_A,
+    )
+    step = make_step(paper, Axis.CHILD, "A")
+    out = drain(XStep(ctx, ListSource(ctx, [speculative]), 2, step))
+    assert len(out) == 1
+    assert out[0].left_open
+    assert out[0].n_l == paper.nodes["a1"]
+    ctx.release()
+
+
+def test_predicates_rejected(paper):
+    ctx = paper.db.make_context()
+    step = make_step(paper, Axis.CHILD, "A")
+    step.predicates.append(CompiledPredicate([]))
+    with pytest.raises(PlanError):
+        XStep(ctx, ListSource(ctx, []), 1, step)
+
+
+def test_wrong_page_instance_raises(paper):
+    ctx = pin(paper, PAGE_D)
+    wrong = PathInstance(0, None, False, 0, 0, False, page_no=PAGE_A)
+    step = make_step(paper, Axis.CHILD, "A")
+    op = XStep(ctx, ListSource(ctx, [wrong]), 1, step)
+    op.open()
+    with pytest.raises(PlanError):
+        op.next()
+    ctx.release()

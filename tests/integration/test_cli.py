@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture()
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text("<shop><item id='1'>widget</item><item id='2'>gadget</item></shop>")
+    return str(path)
+
+
+def test_count_query(xml_file, capsys):
+    assert main(["--xml", xml_file, "count(//item)"]) == 0
+    out = capsys.readouterr().out
+    assert "value = 2" in out
+    assert "document:" in out
+
+
+def test_node_query_shows_nodes(xml_file, capsys):
+    assert main(["--xml", xml_file, "//item/text()"]) == 0
+    out = capsys.readouterr().out
+    assert "2 nodes" in out
+    assert "widget" in out
+
+
+def test_compare_runs_all_plans(xml_file, capsys):
+    assert main(["--xml", xml_file, "--compare", "count(//item)"]) == 0
+    out = capsys.readouterr().out
+    for plan in ("simple", "xschedule", "xscan"):
+        assert plan in out
+
+
+def test_explain(xml_file, capsys):
+    assert main(["--xml", xml_file, "--explain", "--plan", "xschedule", "//item"]) == 0
+    out = capsys.readouterr().out
+    assert "XAssembly" in out
+    assert "XSchedule" in out
+
+
+def test_explain_simple_plan(xml_file, capsys):
+    assert main(["--xml", xml_file, "--explain", "--plan", "simple", "//item[.]"]) == 0
+    out = capsys.readouterr().out
+    assert "UnnestMap" in out
+
+
+def test_xmark_generation(capsys):
+    assert main(["--xmark", "0.01", "count(/site)"]) == 0
+    out = capsys.readouterr().out
+    assert "value = 1" in out
+
+
+def test_missing_file_reports_error(capsys):
+    assert main(["--xml", "/nonexistent.xml", "count(//a)"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_query_reports_error_per_plan(xml_file, capsys):
+    assert main(["--xml", xml_file, "--plan", "xschedule", "//item[foo]"]) == 0
+    out = capsys.readouterr().out
+    assert "error:" in out  # predicates rejected by cost-sensitive plans
+
+
+def test_parser_requires_source():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["count(//a)"])
+
+
+def test_save_and_reopen_store(xml_file, tmp_path, capsys):
+    store_path = str(tmp_path / "s.rpro")
+    assert main(["--xml", xml_file, "--save", store_path, "count(//item)"]) == 0
+    assert "store saved" in capsys.readouterr().out
+    assert main(["--store", store_path, "count(//item)"]) == 0
+    assert "value = 2" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Plan equivalence: every physical plan agrees with the logical reference.
+
+This is the central correctness theorem of the reproduction: Simple,
+XSchedule (with and without speculation), XScan, the rewrite variants and
+the fallback paths must produce identical result sets, and the ordered
+plans must produce identical document-ordered sequences.
+"""
+
+import pytest
+
+from repro import Database, EvalOptions, ImportOptions
+from repro.xpath.parser import parse_path
+from repro.xpath.reference import evaluate_path
+
+from tests.conftest import make_random_tree, small_database
+
+PATHS = [
+    "/root/a",
+    "//b",
+    "/root//c/d",
+    "//a//b",
+    "/root/a/b/c",
+    "//e/text()",
+    "//c/ancestor::a",
+    "//d/parent::*",
+    "//b/following-sibling::c",
+    "//c/preceding-sibling::*",
+    "//a/@id",
+    "//b/descendant-or-self::d",
+    "/root/*/*",
+    "//a/..",
+    "//*/self::d",
+    "//b/ancestor-or-self::*",
+]
+
+
+def expected_for(db, tree, query):
+    ir = db.document("d").import_result
+    return [ir.nodeid_of(n) for n in evaluate_path(tree, parse_path(query))]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("query", PATHS)
+def test_all_plans_match_reference(seed, query):
+    db, tree = small_database(seed=seed)
+    expected = expected_for(db, tree, query)
+    for plan in ("simple", "xschedule", "xscan"):
+        result = db.execute(query, doc="d", plan=plan)
+        assert result.nodes == expected, f"{plan} diverged on {query!r}"
+
+
+@pytest.mark.parametrize("query", PATHS[:8])
+def test_speculative_xschedule_matches(query):
+    db, tree = small_database(seed=4)
+    expected = expected_for(db, tree, query)
+    result = db.execute(
+        query, doc="d", plan="xschedule", options=EvalOptions(speculative=True, k_min_queue=4)
+    )
+    assert result.nodes == expected
+
+
+@pytest.mark.parametrize("query", PATHS[:8])
+@pytest.mark.parametrize("plan", ["xschedule", "xscan"])
+def test_fallback_mode_matches(query, plan):
+    db, tree = small_database(seed=5)
+    expected = expected_for(db, tree, query)
+    result = db.execute(
+        query,
+        doc="d",
+        plan=plan,
+        options=EvalOptions(speculative=True, memory_limit=2, k_min_queue=3),
+    )
+    assert sorted(result.nodes) == sorted(expected)
+
+
+@pytest.mark.parametrize("query", PATHS[:6])
+def test_rewrite_off_and_descendant_root_opt_match(query):
+    db, tree = small_database(seed=6)
+    expected = expected_for(db, tree, query)
+    for plan in ("xschedule", "xscan"):
+        result = db.execute(
+            query,
+            doc="d",
+            plan=plan,
+            options=EvalOptions(rewrite_descendant=False, descendant_root_opt=True),
+        )
+        assert result.nodes == expected
+
+
+def test_tiny_queue_still_correct():
+    db, tree = small_database(seed=7)
+    for query in PATHS[:6]:
+        expected = expected_for(db, tree, query)
+        result = db.execute(
+            query, doc="d", plan="xschedule", options=EvalOptions(k_min_queue=1)
+        )
+        assert result.nodes == expected
+
+
+def test_fragmented_layout_matches_clean_layout():
+    db_clean = Database(page_size=512, buffer_pages=64)
+    tree = make_random_tree(db_clean.tags, seed=8)
+    db_clean.add_tree(tree, "d", ImportOptions(page_size=512, fragmentation=0.0))
+
+    db_frag = Database(page_size=512, buffer_pages=64)
+    tree_frag = make_random_tree(db_frag.tags, seed=8)
+    db_frag.add_tree(tree_frag, "d", ImportOptions(page_size=512, fragmentation=1.0, seed=1))
+
+    for query in PATHS[:8]:
+        clean = db_clean.execute(query, doc="d", plan="xscan")
+        frag = db_frag.execute(query, doc="d", plan="xscan")
+        assert len(clean.nodes) == len(frag.nodes), query

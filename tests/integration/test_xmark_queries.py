@@ -1,0 +1,89 @@
+"""The paper's three benchmark queries end-to-end on an XMark database."""
+
+import pytest
+
+from repro import EvalOptions
+from repro.xmark import PAPER_QUERIES, Q6_PRIME, Q7, Q15
+from repro.xpath.reference import evaluate_query
+
+PLANS = ("simple", "xschedule", "xscan")
+
+
+@pytest.fixture(scope="module")
+def reference(xmark_small):
+    _, tree = xmark_small
+    out = {}
+    for exp_id, _, query in PAPER_QUERIES:
+        value = evaluate_query(tree, query)
+        out[exp_id] = value if isinstance(value, float) else float(len(value))
+    return out
+
+
+@pytest.mark.parametrize("plan", PLANS)
+@pytest.mark.parametrize("exp_id,label,query", PAPER_QUERIES)
+def test_query_correct_on_all_plans(xmark_small, reference, plan, exp_id, label, query):
+    db, _ = xmark_small
+    result = db.execute(query, doc="xmark", plan=plan)
+    got = result.value if result.value is not None else float(len(result.nodes))
+    assert got == reference[exp_id]
+
+
+def test_q6_counts_items_in_regions_only(xmark_small, reference):
+    db, tree = xmark_small
+    total_items = evaluate_query(tree, "count(//item)")
+    assert reference["q6"] == total_items  # all items live under regions
+
+
+def test_q7_is_sum_of_three_counts(xmark_small):
+    db, _ = xmark_small
+    result = db.execute(Q7, doc="xmark", plan="xschedule")
+    parts = [
+        db.execute(f"count(/site//{tag})", doc="xmark", plan="xschedule").value
+        for tag in ("description", "annotation", "emailaddress")
+    ]
+    assert result.value == sum(parts)
+    assert len(result.plan_kinds) == 3
+
+
+def test_q15_returns_text_nodes(xmark_small):
+    db, _ = xmark_small
+    result = db.execute(Q15, doc="xmark", plan="xschedule")
+    assert result.nodes, "Q15 must be non-empty at this scale"
+    for nid in result.nodes[:5]:
+        kind, tag, value = db.node_info(nid)
+        assert kind == "TEXT"
+        assert value
+
+
+@pytest.mark.parametrize("exp_id,label,query", PAPER_QUERIES)
+def test_speculative_and_fallback_agree(xmark_small, reference, exp_id, label, query):
+    db, _ = xmark_small
+    spec = db.execute(
+        query, doc="xmark", plan="xschedule", options=EvalOptions(speculative=True)
+    )
+    fall = db.execute(
+        query,
+        doc="xmark",
+        plan="xscan",
+        options=EvalOptions(memory_limit=16),
+    )
+    for result in (spec, fall):
+        got = result.value if result.value is not None else float(len(result.nodes))
+        assert got == reference[exp_id]
+    assert fall.stats.fallbacks >= 1  # the tiny limit must actually trip
+
+
+def test_xscan_reads_every_page_sequentially(xmark_small):
+    db, _ = xmark_small
+    doc = db.document("xmark")
+    result = db.execute(Q6_PRIME, doc="xmark", plan="xscan")
+    assert result.stats.pages_read == doc.n_pages
+    assert result.stats.sequential_reads == doc.n_pages
+    assert result.stats.seeks == 0
+
+
+def test_xschedule_reads_fewer_pages_than_scan_on_selective_query(xmark_small):
+    db, _ = xmark_small
+    doc = db.document("xmark")
+    result = db.execute(Q15, doc="xmark", plan="xschedule")
+    assert result.stats.pages_read < doc.n_pages

@@ -1,0 +1,139 @@
+"""Tests for the logical tree, tag dictionary and builder."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model.builder import TreeBuilder, tree_from_nested
+from repro.model.tags import DOCUMENT_TAG, TEXT_TAG, TagDictionary
+from repro.model.tree import Kind, NIL, LogicalTree
+
+
+# ------------------------------------------------------------------- tags
+
+
+def test_pseudo_tags_preinterned():
+    tags = TagDictionary()
+    assert tags.name_of(DOCUMENT_TAG) == "#document"
+    assert tags.name_of(TEXT_TAG) == "#text"
+
+
+def test_intern_is_idempotent():
+    tags = TagDictionary()
+    a = tags.intern("item")
+    assert tags.intern("item") == a
+    assert tags.lookup("item") == a
+    assert tags.lookup("missing") is None
+    assert "item" in tags
+    assert len(tags) == 3
+
+
+# ---------------------------------------------------------------- builder
+
+
+def test_builder_basic_structure():
+    builder = TreeBuilder()
+    builder.start_element("a")
+    builder.attribute("x", "1")
+    builder.text("hello")
+    builder.start_element("b")
+    builder.end_element("b")
+    builder.end_element("a")
+    tree = builder.finish()
+    tree.validate()
+    a = next(tree.element_children(tree.root))
+    assert tree.tag_name(a) == "a"
+    children = list(tree.children(a))
+    assert [tree.kind_of(c) for c in children] == [Kind.ATTRIBUTE, Kind.TEXT, Kind.ELEMENT]
+
+
+def test_builder_rejects_mismatched_end():
+    builder = TreeBuilder()
+    builder.start_element("a")
+    with pytest.raises(ReproError):
+        builder.end_element("b")
+
+
+def test_builder_rejects_unclosed_elements():
+    builder = TreeBuilder()
+    builder.start_element("a")
+    with pytest.raises(ReproError):
+        builder.finish()
+
+
+def test_builder_rejects_attribute_after_content():
+    builder = TreeBuilder()
+    builder.start_element("a")
+    builder.text("x")
+    with pytest.raises(ReproError):
+        builder.attribute("late", "v")
+
+
+def test_builder_rejects_attribute_on_root():
+    builder = TreeBuilder()
+    with pytest.raises(ReproError):
+        builder.attribute("x", "v")
+
+
+def test_builder_rejects_use_after_finish():
+    builder = TreeBuilder()
+    builder.start_element("a")
+    builder.end_element()
+    builder.finish()
+    with pytest.raises(ReproError):
+        builder.start_element("again")
+
+
+# ------------------------------------------------------------------- tree
+
+
+def make_sample() -> LogicalTree:
+    return tree_from_nested(
+        ("a", {"id": "1"}, [("b", ["text1", ("c",)]), ("d",), "text2"])
+    )
+
+
+def test_children_accessors():
+    tree = make_sample()
+    a = next(tree.element_children(tree.root))
+    all_children = list(tree.children(a))
+    assert len(all_children) == 4  # attr, b, d, text2
+    element_children = list(tree.element_children(a))
+    assert len(element_children) == 3
+    attrs = list(tree.attributes(a))
+    assert len(attrs) == 1
+    assert tree.value_of(attrs[0]) == "1"
+
+
+def test_descendants_preorder():
+    tree = make_sample()
+    a = next(tree.element_children(tree.root))
+    names = [
+        tree.tag_name(n) if tree.kind_of(n) == Kind.ELEMENT else "#t"
+        for n in tree.descendants(a)
+    ]
+    assert names == ["b", "#t", "c", "d", "#t"]
+
+
+def test_subtree_size_and_depth():
+    tree = make_sample()
+    a = next(tree.element_children(tree.root))
+    assert tree.subtree_size(a) == 7
+    c = tree.count_tag("c")
+    assert c == 1
+    assert tree.depth_of(tree.root) == 0
+    assert tree.depth_of(a) == 1
+
+
+def test_parent_links():
+    tree = make_sample()
+    a = next(tree.element_children(tree.root))
+    for child in tree.children(a):
+        assert tree.parent_of(child) == a
+    assert tree.parent_of(tree.root) == NIL
+
+
+def test_nested_literal_rejects_garbage():
+    with pytest.raises(ReproError):
+        tree_from_nested(42)
+    with pytest.raises(ReproError):
+        tree_from_nested(("a", {}, [], "extra"))

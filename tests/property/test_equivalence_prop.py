@@ -1,0 +1,95 @@
+"""Property: all physical plans agree with the logical reference evaluator
+on random documents and random location paths (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, EvalOptions, ImportOptions
+from repro.axes import Axis
+from repro.model.builder import TreeBuilder
+from repro.xpath.parser import parse_path
+from repro.xpath.reference import evaluate_path
+
+AXES = [
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "self",
+    "parent",
+    "ancestor",
+    "ancestor-or-self",
+    "following-sibling",
+    "preceding-sibling",
+]
+TESTS = ["a", "b", "c", "*", "node()", "text()"]
+
+
+@st.composite
+def location_paths(draw):
+    n_steps = draw(st.integers(min_value=1, max_value=4))
+    steps = []
+    for _ in range(n_steps):
+        axis = draw(st.sampled_from(AXES))
+        test = draw(st.sampled_from(TESTS))
+        steps.append(f"{axis}::{test}")
+    return "/" + "/".join(steps)
+
+
+@st.composite
+def databases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    import random
+
+    rng = random.Random(seed)
+    db = Database(page_size=512, buffer_pages=48)
+    builder = TreeBuilder(db.tags)
+    builder.start_element("root")
+
+    def gen(depth):
+        builder.start_element(rng.choice("abc"))
+        for _ in range(rng.randrange(4) if depth < 5 else 0):
+            if rng.random() < 0.25:
+                builder.text("t" * rng.randrange(1, 10))
+            else:
+                gen(depth + 1)
+        builder.end_element()
+
+    for _ in range(rng.randrange(10, 40)):
+        gen(0)
+    builder.end_element()
+    tree = builder.finish()
+    fragmentation = draw(st.floats(min_value=0.0, max_value=1.0))
+    db.add_tree(
+        tree,
+        "d",
+        ImportOptions(page_size=512, fragmentation=fragmentation, seed=seed),
+    )
+    return db, tree
+
+
+@given(databases(), location_paths(), st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_plans_match_reference(db_tree, query, speculative):
+    db, tree = db_tree
+    expected = [
+        db.document("d").import_result.nodeid_of(n)
+        for n in evaluate_path(tree, parse_path(query))
+    ]
+    options = EvalOptions(speculative=speculative, k_min_queue=4)
+    for plan in ("simple", "xschedule", "xscan"):
+        result = db.execute(query, doc="d", plan=plan, options=options)
+        assert result.nodes == expected, (plan, query)
+
+
+@given(databases(), location_paths(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_fallback_matches_reference(db_tree, query, memory_limit):
+    db, tree = db_tree
+    expected = sorted(
+        db.document("d").import_result.nodeid_of(n)
+        for n in evaluate_path(tree, parse_path(query))
+    )
+    options = EvalOptions(speculative=True, memory_limit=memory_limit, k_min_queue=2)
+    for plan in ("xschedule", "xscan"):
+        result = db.execute(query, doc="d", plan=plan, options=options)
+        assert sorted(result.nodes) == expected, (plan, query)

@@ -1,0 +1,63 @@
+"""Property-based tests for ORDPATH labels (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.ordpath import OrdPath, label_between
+
+
+@st.composite
+def insertion_scripts(draw):
+    """A sequence of insertion positions into a growing sibling list."""
+    length = draw(st.integers(min_value=1, max_value=60))
+    return [draw(st.integers(min_value=0, max_value=i + 1)) for i in range(length)]
+
+
+@given(insertion_scripts())
+@settings(max_examples=200)
+def test_arbitrary_insertions_preserve_strict_order(script):
+    root = OrdPath.root()
+    labels = [root.child(0)]
+    for position in script:
+        left = labels[position - 1] if position > 0 else None
+        right = labels[position] if position < len(labels) else None
+        mid = label_between(left, right)
+        if left is not None:
+            assert left < mid
+        if right is not None:
+            assert mid < right
+        labels.insert(position, mid)
+    assert labels == sorted(labels)
+    assert len(set(labels)) == len(labels)
+
+
+@given(insertion_scripts())
+@settings(max_examples=100)
+def test_insertions_preserve_level_and_parentage(script):
+    root = OrdPath.root()
+    labels = [root.child(0)]
+    for position in script:
+        left = labels[position - 1] if position > 0 else None
+        right = labels[position] if position < len(labels) else None
+        mid = label_between(left, right)
+        labels.insert(position, mid)
+    for label in labels:
+        assert label.level() == 2  # all are children of the root
+        assert root.is_ancestor_of(label)
+        assert list(label.parent_prefixes()) == [root]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=6))
+@settings(max_examples=200)
+def test_child_labels_sort_with_subtrees(path_indices):
+    """A node's label sorts before all labels in its subtree and the
+    subtree sorts contiguously before the next sibling."""
+    node = OrdPath.root()
+    for index in path_indices:
+        child = node.child(index)
+        assert node < child
+        assert node.is_ancestor_of(child)
+        sibling = child.next_sibling_label()
+        grandchild = child.child(5)
+        assert child < grandchild < sibling
+        node = child

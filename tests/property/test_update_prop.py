@@ -1,0 +1,80 @@
+"""Property: arbitrary update storms keep the store sound and all
+physical plans in agreement with each other."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.errors import StorageError
+from repro.model.tree import Kind
+from repro.storage.store import check_document, export_tree, recollect_statistics
+from repro.storage.update import delete_subtree, insert_node, update_value
+
+
+@st.composite
+def storms(draw):
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    n_steps = draw(st.integers(min_value=5, max_value=50))
+    page_size = draw(st.sampled_from([256, 512, 1024]))
+    return seed, n_steps, page_size
+
+
+@given(storms())
+@settings(max_examples=25, deadline=None)
+def test_update_storm_soundness(storm):
+    seed, n_steps, page_size = storm
+    rng = random.Random(seed)
+    db = Database(page_size=page_size, buffer_pages=64)
+    db.load_xml("<root><a>seed text</a><b/><c><d/></c></root>", "d")
+    doc = db.document("d")
+
+    for _ in range(n_steps):
+        action = rng.random()
+        elements = db.execute("//*", doc="d", plan="simple").nodes
+        if action < 0.55 or len(elements) < 3:
+            parent = rng.choice(elements + [doc.root])
+            if db.node_info(parent)[0] == "TEXT":
+                continue
+            count = db.execute("count(//*)", doc="d").value
+            position = rng.randrange(0, 3)
+            try:
+                insert_node(
+                    db.store,
+                    doc,
+                    parent,
+                    min(position, 0),
+                    rng.choice("wxyz"),
+                    value=None if rng.random() < 0.6 else "v" * rng.randrange(1, 30),
+                )
+            except StorageError:
+                raise
+        elif action < 0.7:
+            texts = db.execute("//text()", doc="d", plan="simple").nodes
+            if texts:
+                update_value(db.store, rng.choice(texts), "u" * rng.randrange(1, 8))
+        else:
+            victim = rng.choice(elements)
+            delete_subtree(db.store, doc, victim)
+
+    check_document(db.store, doc)
+    exported = export_tree(db.store, doc)
+    exported.validate()
+    statistics = recollect_statistics(db.store, doc)
+    assert statistics.n_nodes == doc.n_nodes
+
+    for query in ("count(//*)", "count(//w)", "//x", "count(//text())"):
+        results = [
+            db.execute(query, doc="d", plan=plan)
+            for plan in ("simple", "xschedule", "xscan")
+        ]
+        outcomes = {
+            r.value if r.value is not None else tuple(r.nodes) for r in results
+        }
+        assert len(outcomes) == 1, query
+
+    # exports agree with each other after the storm
+    scan_text, _ = db.export_xml(doc="d", method="scan")
+    navigate_text, _ = db.export_xml(doc="d", method="navigate")
+    assert scan_text == navigate_text

@@ -1,0 +1,65 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_initial_state():
+    clock = SimClock()
+    assert clock.now == 0.0
+    assert clock.cpu_time == 0.0
+    assert clock.io_wait == 0.0
+
+
+def test_work_accumulates_cpu():
+    clock = SimClock()
+    clock.work(0.5)
+    clock.work(0.25)
+    assert clock.now == pytest.approx(0.75)
+    assert clock.cpu_time == pytest.approx(0.75)
+    assert clock.io_wait == 0.0
+
+
+def test_negative_work_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.work(-1.0)
+
+
+def test_wait_until_future_accounts_io_wait():
+    clock = SimClock()
+    clock.work(1.0)
+    clock.wait_until(3.0)
+    assert clock.now == pytest.approx(3.0)
+    assert clock.io_wait == pytest.approx(2.0)
+    assert clock.cpu_time == pytest.approx(1.0)
+
+
+def test_wait_until_past_is_noop():
+    clock = SimClock()
+    clock.work(2.0)
+    clock.wait_until(1.0)
+    assert clock.now == pytest.approx(2.0)
+    assert clock.io_wait == 0.0
+
+
+def test_total_is_cpu_plus_wait():
+    clock = SimClock()
+    clock.work(0.2)
+    clock.wait_until(1.0)
+    clock.work(0.3)
+    clock.wait_until(2.0)
+    assert clock.now == pytest.approx(clock.cpu_time + clock.io_wait)
+
+
+def test_checkpoint_and_since():
+    clock = SimClock()
+    clock.work(1.0)
+    mark = clock.checkpoint()
+    clock.work(0.5)
+    clock.wait_until(2.5)
+    total, cpu, wait = clock.since(mark)
+    assert total == pytest.approx(1.5)
+    assert cpu == pytest.approx(0.5)
+    assert wait == pytest.approx(1.0)

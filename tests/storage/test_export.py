@@ -1,0 +1,79 @@
+"""Tests for cost-accounted document export (scan and navigate)."""
+
+import pytest
+
+from repro import Database, ImportOptions
+from repro.storage.update import insert_node
+from repro.xml.escape import serialize
+
+from tests.conftest import make_random_tree, small_database
+
+
+def canonical(db, tree):
+    return serialize(tree)
+
+
+def test_tiny_document_round_trip():
+    db = Database(page_size=512, buffer_pages=16)
+    source = '<a x="1"><b>text &amp; more</b><c/><d>mixed<e/>tail</d></a>'
+    db.load_xml(source, "d")
+    for method in ("scan", "navigate"):
+        text, result = db.export_xml(doc="d", method=method)
+        assert text == source
+        assert result.total_time > 0
+
+
+@pytest.mark.parametrize("fragmentation", [0.0, 1.0])
+@pytest.mark.parametrize("method", ["scan", "navigate"])
+def test_multi_page_round_trip(fragmentation, method):
+    db = Database(page_size=512, buffer_pages=64)
+    tree = make_random_tree(db.tags, seed=17, n_top=50)
+    db.add_tree(
+        tree, "d", ImportOptions(page_size=512, fragmentation=fragmentation, seed=5)
+    )
+    text, _ = db.export_xml(doc="d", method=method)
+    assert text == serialize(tree)
+
+
+def test_both_methods_agree(db_and_tree):
+    db, tree = db_and_tree
+    scan_text, _ = db.export_xml(doc="d", method="scan")
+    navigate_text, _ = db.export_xml(doc="d", method="navigate")
+    assert scan_text == navigate_text == serialize(tree)
+
+
+def test_scan_reads_every_page_once():
+    db, tree = small_database(seed=23, n_top=80)
+    doc = db.document("d")
+    _, result = db.export_xml(doc="d", method="scan")
+    assert result.stats.pages_read == doc.n_pages
+    assert result.stats.seeks <= 1
+
+
+def test_scan_beats_navigation_on_fragmented_layout():
+    db, _ = small_database(seed=23, n_top=80, fragmentation=1.0)
+    _, scan = db.export_xml(doc="d", method="scan")
+    _, navigate = db.export_xml(doc="d", method="navigate")
+    assert scan.total_time < navigate.total_time
+    assert scan.stats.seeks < navigate.stats.seeks
+
+
+def test_export_after_updates():
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml("<root><a>one</a><b/></root>", "d")
+    doc = db.document("d")
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    for i in range(30):
+        insert_node(db.store, doc, root, 1, f"n{i}", value=None)
+    scan_text, _ = db.export_xml(doc="d", method="scan")
+    navigate_text, _ = db.export_xml(doc="d", method="navigate")
+    assert scan_text == navigate_text
+    assert scan_text.count("<n0/>") == 1
+    assert scan_text.index("<a>") < scan_text.index("<n29/>") < scan_text.index("<b/>")
+
+
+def test_unknown_method_rejected():
+    db = Database(page_size=512, buffer_pages=16)
+    db.load_xml("<a/>", "d")
+    with pytest.raises(Exception):
+        db.export_xml(doc="d", method="teleport")

@@ -1,0 +1,161 @@
+"""White-box tests for intra-cluster navigation on the paper's example tree."""
+
+import pytest
+
+from repro.axes import Axis
+from repro.storage.nav import iter_axis, iter_resume, speculative_entries
+from repro.storage.nodeid import page_of, slot_of
+
+from tests.paper_tree import PAGE_A, PAGE_B, PAGE_C, PAGE_D, build_paper_tree
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return build_paper_tree()
+
+
+def nav(paper, name, axis, resume=False):
+    """Run a navigation and render results as paper node names."""
+    nid = paper.nodes[name]
+    page = paper.db.store.segment.page(page_of(nid))
+    hops = []
+    fn = iter_resume if resume else iter_axis
+    results = list(fn(page, slot_of(nid), axis, lambda: hops.append(1)))
+    reverse = {v: k for k, v in paper.nodes.items()}
+    named = []
+    for is_border, slot in results:
+        from repro.storage.nodeid import make_nodeid
+
+        named.append((is_border, reverse[make_nodeid(page.page_no, slot)]))
+    return named, len(hops)
+
+
+def test_child_axis_yields_borders_unexpanded(paper):
+    results, hops = nav(paper, "d1", Axis.CHILD)
+    assert results == [(True, "d2"), (True, "d3"), (False, "d4")]
+    assert hops == 3
+
+
+def test_child_axis_within_cluster(paper):
+    results, _ = nav(paper, "c2", Axis.CHILD)
+    assert results == [(False, "c3"), (False, "c4")]
+
+
+def test_descendant_stops_at_borders(paper):
+    results, _ = nav(paper, "d1", Axis.DESCENDANT)
+    assert results == [(True, "d2"), (True, "d3"), (False, "d4"), (True, "d5")]
+
+
+def test_descendant_or_self_includes_self(paper):
+    results, _ = nav(paper, "c2", Axis.DESCENDANT_OR_SELF)
+    assert results[0] == (False, "c2")
+    assert (False, "c4") in results
+
+
+def test_self_axis(paper):
+    results, _ = nav(paper, "a2", Axis.SELF)
+    assert results == [(False, "a2")]
+
+
+def test_parent_within_cluster(paper):
+    results, _ = nav(paper, "a3", Axis.PARENT)
+    assert results == [(False, "a2")]
+
+
+def test_parent_across_border(paper):
+    results, _ = nav(paper, "a2", Axis.PARENT)
+    assert results == [(True, "a1")]
+
+
+def test_parent_of_root_is_empty(paper):
+    results, _ = nav(paper, "d1", Axis.PARENT)
+    assert results == []
+
+
+def test_ancestor_stops_at_border(paper):
+    results, _ = nav(paper, "a3", Axis.ANCESTOR)
+    assert results == [(False, "a2"), (True, "a1")]
+
+
+def test_ancestor_or_self(paper):
+    results, _ = nav(paper, "c4", Axis.ANCESTOR_OR_SELF)
+    assert results == [(False, "c4"), (False, "c2"), (True, "c1")]
+
+
+def test_following_sibling_intra(paper):
+    results, _ = nav(paper, "c3", Axis.FOLLOWING_SIBLING)
+    assert results == [(False, "c4")]
+
+
+def test_following_sibling_of_cluster_root_crosses(paper):
+    results, _ = nav(paper, "a2", Axis.FOLLOWING_SIBLING)
+    assert results == [(True, "a1")]
+
+
+def test_preceding_sibling_intra(paper):
+    results, _ = nav(paper, "c4", Axis.PRECEDING_SIBLING)
+    assert results == [(False, "c3")]
+
+
+# ------------------------------------------------------------------ resume
+
+
+def test_resume_child_at_up_border(paper):
+    """A paused child step entering cluster a tests only the local root."""
+    results, _ = nav(paper, "a1", Axis.CHILD, resume=True)
+    assert results == [(False, "a2")]
+
+
+def test_resume_descendant_is_descendant_or_self(paper):
+    results, _ = nav(paper, "c1", Axis.DESCENDANT, resume=True)
+    assert results == [(False, "c2"), (False, "c3"), (False, "c4")]
+
+
+def test_resume_parent_at_down_border(paper):
+    results, _ = nav(paper, "d2", Axis.PARENT, resume=True)
+    assert results == [(False, "d1")]
+
+
+def test_resume_ancestor_at_down_border(paper):
+    results, _ = nav(paper, "d5", Axis.ANCESTOR, resume=True)
+    assert results == [(False, "d4"), (False, "d1")]
+
+
+def test_resume_following_sibling_at_down_border(paper):
+    """a2's siblings resume in cluster d after border d2."""
+    results, _ = nav(paper, "d2", Axis.FOLLOWING_SIBLING, resume=True)
+    assert results == [(True, "d3"), (False, "d4")]
+
+
+def test_resume_preceding_sibling_at_down_border(paper):
+    results, _ = nav(paper, "d3", Axis.PRECEDING_SIBLING, resume=True)
+    assert results == [(True, "d2")]
+
+
+def test_resume_sibling_candidate_at_up_border(paper):
+    """Crossing into an exiled sibling yields the sibling itself."""
+    results, _ = nav(paper, "c1", Axis.FOLLOWING_SIBLING, resume=True)
+    assert results == [(False, "c2")]
+
+
+# -------------------------------------------------------------- speculation
+
+
+def test_speculative_entries_downward(paper):
+    segment = paper.db.store.segment
+    assert list(speculative_entries(segment.page(PAGE_A), Axis.DESCENDANT)) == [0]
+    assert list(speculative_entries(segment.page(PAGE_D), Axis.CHILD)) == []
+
+
+def test_speculative_entries_upward(paper):
+    segment = paper.db.store.segment
+    # cluster d holds three downward borders: entries for upward axes
+    assert list(speculative_entries(segment.page(PAGE_D), Axis.ANCESTOR)) == [1, 2, 4]
+    assert list(speculative_entries(segment.page(PAGE_A), Axis.PARENT)) == []
+
+
+def test_speculative_entries_sibling(paper):
+    segment = paper.db.store.segment
+    # every border is a potential sibling entry
+    assert list(speculative_entries(segment.page(PAGE_D), Axis.FOLLOWING_SIBLING)) == [1, 2, 4]
+    assert list(speculative_entries(segment.page(PAGE_C), Axis.FOLLOWING_SIBLING)) == [0]

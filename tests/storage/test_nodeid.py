@@ -1,0 +1,48 @@
+"""Tests for packed NodeIDs."""
+
+import pytest
+
+from repro.storage.nodeid import format_nodeid, make_nodeid, page_of, slot_of
+
+
+def test_pack_unpack_roundtrip():
+    for page, slot in [(0, 0), (1, 2), (12345, 678), (1 << 30, (1 << 20) - 1)]:
+        nid = make_nodeid(page, slot)
+        assert page_of(nid) == page
+        assert slot_of(nid) == slot
+
+
+def test_cluster_is_derivable_from_nodeid():
+    """Paper Sec. 3.3: the cluster must be computable from the NodeID."""
+    nid = make_nodeid(42, 7)
+    assert page_of(nid) == 42
+
+
+def test_nodeids_are_hashable_ints():
+    nid = make_nodeid(3, 4)
+    assert isinstance(nid, int)
+    assert {nid: "x"}[make_nodeid(3, 4)] == "x"
+
+
+def test_distinct_nodes_distinct_ids():
+    seen = set()
+    for page in range(20):
+        for slot in range(20):
+            seen.add(make_nodeid(page, slot))
+    assert len(seen) == 400
+
+
+def test_negative_components_rejected():
+    with pytest.raises(ValueError):
+        make_nodeid(-1, 0)
+    with pytest.raises(ValueError):
+        make_nodeid(0, -1)
+
+
+def test_slot_overflow_rejected():
+    with pytest.raises(ValueError):
+        make_nodeid(0, 1 << 20)
+
+
+def test_format():
+    assert format_nodeid(make_nodeid(5, 9)) == "5.9"

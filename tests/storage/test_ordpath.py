@@ -1,0 +1,109 @@
+"""Tests for ORDPATH order labels."""
+
+import pytest
+
+from repro.storage.ordpath import OrdPath, label_between
+
+
+def test_root_label():
+    assert OrdPath.root().components == (1,)
+
+
+def test_initial_children_are_odd_and_ordered():
+    root = OrdPath.root()
+    labels = [root.child(i) for i in range(5)]
+    assert [l.components[-1] for l in labels] == [1, 3, 5, 7, 9]
+    assert labels == sorted(labels)
+
+
+def test_comparison_is_document_order():
+    root = OrdPath.root()
+    a = root.child(0)  # 1.1
+    b = root.child(1)  # 1.3
+    a1 = a.child(0)  # 1.1.1
+    # document order: a, a1, b
+    assert a < a1 < b
+
+
+def test_labels_must_end_odd():
+    with pytest.raises(ValueError):
+        OrdPath((1, 2))
+    with pytest.raises(ValueError):
+        OrdPath(())
+
+
+def test_level_ignores_carets():
+    assert OrdPath((1,)).level() == 1
+    assert OrdPath((1, 3)).level() == 2
+    assert OrdPath((1, 2, 1)).level() == 2  # 2 is a caret
+    assert OrdPath((1, 4, 0, 1)).level() == 2
+
+
+def test_ancestor_relation():
+    root = OrdPath.root()
+    child = root.child(2)
+    grand = child.child(0)
+    assert root.is_ancestor_of(child)
+    assert root.is_ancestor_of(grand)
+    assert child.is_ancestor_of(grand)
+    assert not child.is_ancestor_of(root)
+    assert not child.is_ancestor_of(child)
+
+
+def test_caret_insertion_does_not_create_false_ancestry():
+    left = OrdPath((1, 3))
+    right = OrdPath((1, 5))
+    mid = label_between(left, right)
+    assert left < mid < right
+    assert not left.is_ancestor_of(mid)
+    assert mid.level() == 2
+
+
+def test_parent_prefixes():
+    label = OrdPath((1, 2, 3, 5))
+    prefixes = list(label.parent_prefixes())
+    assert prefixes[-1] == OrdPath.root()
+    # the immediate parent of 1.2.3.5 is 1.2.3 (2 is a caret)
+    assert prefixes[0] == OrdPath((1, 2, 3))
+
+
+def test_between_edges():
+    first = OrdPath((1, 1))
+    before = label_between(None, first)
+    assert before < first
+    assert before.level() == first.level()
+    after = label_between(first, None)
+    assert first < after
+    assert after.level() == first.level()
+
+
+def test_between_requires_neighbour():
+    with pytest.raises(ValueError):
+        label_between(None, None)
+
+
+def test_between_rejects_non_siblings():
+    with pytest.raises(ValueError):
+        label_between(OrdPath((1, 1)), OrdPath((1, 3, 1)))
+
+
+def test_between_rejects_wrong_order():
+    with pytest.raises(ValueError):
+        label_between(OrdPath((1, 5)), OrdPath((1, 3)))
+
+
+def test_repeated_careting_stays_consistent():
+    """Insert 100 labels always at the same gap; order must hold."""
+    left = OrdPath((1, 1))
+    right = OrdPath((1, 3))
+    labels = [left, right]
+    for _ in range(100):
+        mid = label_between(labels[0], labels[1])
+        assert labels[0] < mid < labels[1]
+        assert mid.level() == 2
+        labels.insert(1, mid)
+    assert labels == sorted(labels)
+
+
+def test_next_sibling_label():
+    assert OrdPath((1, 5)).next_sibling_label() == OrdPath((1, 7))

@@ -1,0 +1,111 @@
+"""Tests for binary store persistence."""
+
+import pytest
+
+from repro import Database, ImportOptions
+from repro.errors import StorageError
+from repro.storage.persist import load_store, save_store
+from repro.storage.store import check_document, export_tree
+from repro.storage.update import insert_node
+from repro.xml.escape import serialize
+
+from tests.conftest import make_random_tree, small_database
+
+
+def test_round_trip_preserves_queries(tmp_path):
+    db, tree = small_database(seed=61, n_top=50, fragmentation=1.0)
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path, buffer_pages=64)
+    for query in ("count(//a)", "count(//b//c)", "//a/b"):
+        original = db.execute(query, doc="d", plan="xschedule")
+        restored = loaded.execute(query, doc="d", plan="xschedule")
+        if original.value is not None:
+            assert restored.value == original.value
+        else:
+            assert restored.nodes == original.nodes
+
+
+def test_round_trip_preserves_physical_image(tmp_path):
+    db, tree = small_database(seed=62, n_top=40)
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path)
+    assert loaded.store.segment.n_pages == db.store.segment.n_pages
+    for page_no in range(db.store.segment.n_pages):
+        original = db.store.segment.page(page_no)
+        restored = loaded.store.segment.page(page_no)
+        assert restored.used_bytes == original.used_bytes
+        assert len(restored.records) == len(original.records)
+    doc = loaded.document("d")
+    check_document(loaded.store, doc)
+    assert serialize(export_tree(loaded.store, doc)) == serialize(tree)
+
+
+def test_round_trip_after_updates(tmp_path):
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml("<root><a>x</a></root>", "d")
+    doc = db.document("d")
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    for i in range(20):
+        insert_node(db.store, doc, root, 0, f"n{i}")
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path)
+    assert loaded.execute("count(/root/*)", doc="d").value == 21.0
+    check_document(loaded.store, loaded.document("d"))
+
+
+def test_statistics_recollected_on_load(tmp_path):
+    db, _ = small_database(seed=63, n_top=30)
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path)
+    assert loaded.document("d").statistics is not None
+    assert loaded.execute("count(//a)", doc="d", plan="auto").value == db.execute(
+        "count(//a)", doc="d", plan="auto"
+    ).value
+    plain = Database.load(path, collect_statistics=False)
+    assert plain.document("d").statistics is None
+
+
+def test_multiple_documents_round_trip(tmp_path):
+    db = Database(page_size=512, buffer_pages=32)
+    t1 = make_random_tree(db.tags, seed=64, n_top=20)
+    t2 = make_random_tree(db.tags, seed=65, n_top=20)
+    db.add_tree(t1, "one", ImportOptions(page_size=512))
+    db.add_tree(t2, "two", ImportOptions(page_size=512))
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path)
+    assert set(loaded.store.documents) == {"one", "two"}
+    for name in ("one", "two"):
+        assert loaded.execute("count(//*)", doc=name).value == db.execute(
+            "count(//*)", doc=name
+        ).value
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(StorageError):
+        load_store(str(path))
+
+
+def test_negative_ordpath_components_survive(tmp_path):
+    """Careted labels (with 0 / negative components) must persist."""
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml("<root><a/><b/></root>", "d")
+    doc = db.document("d")
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    for _ in range(5):
+        insert_node(db.store, doc, root, 0, "front")  # labels caret below 1
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path)
+    names = [
+        loaded.node_info(n)[1]
+        for n in loaded.execute("/root/*", doc="d", plan="simple").nodes
+    ]
+    assert names[:5] == ["front"] * 5
+    assert names[5:] == ["a", "b"]

@@ -1,0 +1,114 @@
+"""Tests for the XMark generator."""
+
+import pytest
+
+from repro.model.tags import TagDictionary
+from repro.xmark.generator import XMarkProfile, generate_xmark
+from repro.xpath.reference import evaluate_query
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_xmark(scale=0.05, seed=1)
+
+
+def test_deterministic_per_seed():
+    a = generate_xmark(scale=0.02, seed=9)
+    b = generate_xmark(scale=0.02, seed=9)
+    assert len(a) == len(b)
+    assert list(a.tag) == list(b.tag)
+    c = generate_xmark(scale=0.02, seed=10)
+    assert list(a.tag) != list(c.tag)
+
+
+def test_structure_is_valid(tree):
+    tree.validate()
+
+
+def test_top_level_sections(tree):
+    site = evaluate_query(tree, "/site")
+    assert len(site) == 1
+    for section in ("regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"):
+        assert len(evaluate_query(tree, f"/site/{section}")) == 1, section
+
+
+def test_entity_counts_scale(tree):
+    profile = XMarkProfile()
+    items = evaluate_query(tree, "count(/site/regions//item)")
+    assert items == profile.scaled(0.05, profile.items)
+    persons = evaluate_query(tree, "count(/site/people/person)")
+    assert persons == profile.scaled(0.05, profile.persons)
+    closed = evaluate_query(tree, "count(/site/closed_auctions/closed_auction)")
+    assert closed == profile.scaled(0.05, profile.closed_auctions)
+
+
+def test_items_distributed_over_all_regions(tree):
+    for region in ("africa", "asia", "australia", "europe", "namerica", "samerica"):
+        assert evaluate_query(tree, f"count(/site/regions/{region}/item)") >= 1
+
+
+def test_scale_monotone():
+    small = generate_xmark(scale=0.02, seed=1)
+    large = generate_xmark(scale=0.08, seed=1)
+    assert len(large) > 2 * len(small)
+
+
+def test_every_item_has_required_children(tree):
+    items = evaluate_query(tree, "count(//item)")
+    for child in ("location", "quantity", "name", "payment", "description", "shipping", "mailbox"):
+        assert evaluate_query(tree, f"count(//item/{child})") == items, child
+
+
+def test_descriptions_everywhere(tree):
+    descriptions = evaluate_query(tree, "count(/site//description)")
+    items = evaluate_query(tree, "count(//item)")
+    closed = evaluate_query(tree, "count(//closed_auction)")
+    opened = evaluate_query(tree, "count(//open_auction)")
+    categories = evaluate_query(tree, "count(//category)")
+    assert descriptions == items + closed + opened + categories
+
+
+def test_annotations_in_both_auction_kinds(tree):
+    assert evaluate_query(tree, "count(//open_auction/annotation)") == evaluate_query(
+        tree, "count(//open_auction)"
+    )
+    assert evaluate_query(tree, "count(//closed_auction/annotation)") == evaluate_query(
+        tree, "count(//closed_auction)"
+    )
+
+
+def test_q15_chain_reachable(tree):
+    """The deep parlist/listitem/text/emph/keyword chain must occur, but
+    stay highly selective (a small fraction of all keywords)."""
+    q15 = (
+        "count(/site/closed_auctions/closed_auction/annotation/description"
+        "/parlist/listitem/parlist/listitem/text/emph/keyword/text())"
+    )
+    hits = evaluate_query(tree, q15)
+    keywords = evaluate_query(tree, "count(//keyword)")
+    assert hits > 0
+    assert hits < keywords * 0.05
+
+
+def test_attributes_present(tree):
+    items = evaluate_query(tree, "count(//item)")
+    assert evaluate_query(tree, "count(//item/@id)") == items
+    assert evaluate_query(tree, "count(//incategory/@category)") >= items
+
+
+def test_custom_profile_and_downscale():
+    profile = XMarkProfile(downscale=100)
+    tree = generate_xmark(scale=1.0, seed=0, profile=profile)
+    assert evaluate_query(tree, "count(//item)") == round(21750 / 100)
+
+
+def test_shared_tag_dictionary():
+    tags = TagDictionary()
+    tree = generate_xmark(scale=0.02, seed=0, tags=tags)
+    assert tree.tags is tags
+    assert "closed_auction" in tags
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValueError):
+        generate_xmark(scale=0.0)

@@ -1,0 +1,121 @@
+"""Tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.model.tree import Kind
+from repro.xml.parser import parse_document
+
+
+def test_minimal_document():
+    tree = parse_document("<a/>")
+    tree.validate()
+    assert tree.count_tag("a") == 1
+
+
+def test_nested_elements_structure():
+    tree = parse_document("<a><b><c/></b><b/></a>")
+    tree.validate()
+    root_children = list(tree.element_children(tree.root))
+    assert len(root_children) == 1
+    a = root_children[0]
+    assert tree.tag_name(a) == "a"
+    bs = list(tree.element_children(a))
+    assert [tree.tag_name(b) for b in bs] == ["b", "b"]
+    assert [tree.tag_name(c) for c in tree.element_children(bs[0])] == ["c"]
+
+
+def test_attributes_parsed_in_order():
+    tree = parse_document('<a x="1" y="two" z=\'3\'/>')
+    a = next(tree.element_children(tree.root))
+    attrs = [(tree.tag_name(n), tree.value_of(n)) for n in tree.attributes(a)]
+    assert attrs == [("x", "1"), ("y", "two"), ("z", "3")]
+
+
+def test_text_content_and_entities():
+    tree = parse_document("<a>x &amp; y &lt;z&gt; &quot;q&quot; &apos;s&apos;</a>")
+    a = next(tree.element_children(tree.root))
+    text = next(tree.element_children(a))
+    assert tree.value_of(text) == "x & y <z> \"q\" 's'"
+
+
+def test_numeric_character_references():
+    tree = parse_document("<a>&#65;&#x42;</a>")
+    a = next(tree.element_children(tree.root))
+    assert tree.value_of(next(tree.element_children(a))) == "AB"
+
+
+def test_cdata_section():
+    tree = parse_document("<a><![CDATA[<not & parsed>]]></a>")
+    a = next(tree.element_children(tree.root))
+    assert tree.value_of(next(tree.element_children(a))) == "<not & parsed>"
+
+
+def test_comments_and_pis_skipped():
+    tree = parse_document("<?xml version='1.0'?><!-- c --><a><!-- x --><?pi data?><b/></a><!-- end -->")
+    tree.validate()
+    assert tree.count_tag("b") == 1
+
+
+def test_doctype_skipped():
+    tree = parse_document("<!DOCTYPE a [<!ELEMENT a (b)>]><a><b/></a>")
+    assert tree.count_tag("b") == 1
+
+
+def test_whitespace_only_text_dropped_by_default():
+    tree = parse_document("<a>\n  <b/>\n</a>")
+    a = next(tree.element_children(tree.root))
+    kinds = [tree.kind_of(c) for c in tree.element_children(a)]
+    assert kinds == [Kind.ELEMENT]
+
+
+def test_whitespace_kept_when_requested():
+    tree = parse_document("<a>\n<b/></a>", keep_whitespace_text=True)
+    a = next(tree.element_children(tree.root))
+    kinds = [tree.kind_of(c) for c in tree.element_children(a)]
+    assert kinds == [Kind.TEXT, Kind.ELEMENT]
+
+
+def test_mixed_content():
+    tree = parse_document("<a>one<b/>two</a>")
+    a = next(tree.element_children(tree.root))
+    parts = [
+        tree.value_of(c) if tree.kind_of(c) == Kind.TEXT else tree.tag_name(c)
+        for c in tree.element_children(a)
+    ]
+    assert parts == ["one", "b", "two"]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "text only",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "<a/><b/>",
+        "<a x=1/>",
+        '<a x="1" x="2"/>',
+        "<a>&unknown;</a>",
+        "<a>&#xZZ;</a>",
+        "<a><!-- unterminated </a>",
+        '<a x="<"/>',
+        "<a>trailing</a>junk",
+    ],
+)
+def test_malformed_documents_rejected(bad):
+    with pytest.raises(XmlSyntaxError):
+        parse_document(bad)
+
+
+def test_error_reports_position():
+    with pytest.raises(XmlSyntaxError) as excinfo:
+        parse_document("<a><b></c></a>")
+    assert excinfo.value.position > 0
+
+
+def test_namespace_prefixes_kept_opaque():
+    tree = parse_document('<ns:a xmlns:ns="u"><ns:b/></ns:a>')
+    assert tree.count_tag("ns:a") == 1
+    assert tree.count_tag("ns:b") == 1

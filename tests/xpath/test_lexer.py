@@ -1,0 +1,72 @@
+"""Tests for the XPath tokenizer."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import tokenize
+
+
+def types(query):
+    return [t.type for t in tokenize(query)]
+
+
+def test_simple_path():
+    assert types("/a/b") == ["SLASH", "NAME", "SLASH", "NAME", "EOF"]
+
+
+def test_double_slash_vs_slash():
+    assert types("//a") == ["DOUBLE_SLASH", "NAME", "EOF"]
+
+
+def test_axis_separator():
+    assert types("child::a") == ["NAME", "AXIS_SEP", "NAME", "EOF"]
+
+
+def test_dots():
+    assert types("./..") == ["DOT", "SLASH", "DOTDOT", "EOF"]
+
+
+def test_names_may_contain_hyphens_and_dots():
+    tokens = tokenize("closed_auctions/foo-bar/v1.2x")
+    names = [t.value for t in tokens if t.type == "NAME"]
+    assert names == ["closed_auctions", "foo-bar", "v1.2x"]
+
+
+def test_trailing_dot_not_swallowed_by_name():
+    # "a/." must lex as NAME SLASH DOT, not NAME SLASH-with-dot
+    assert types("a/.") == ["NAME", "SLASH", "DOT", "EOF"]
+
+
+def test_numbers():
+    tokens = tokenize("3 + 4.25")
+    assert [t.type for t in tokens] == ["NUMBER", "PLUS", "NUMBER", "EOF"]
+    assert tokens[2].value == "4.25"
+
+
+def test_function_call_shape():
+    assert types("count(/a)") == ["NAME", "LPAREN", "SLASH", "NAME", "RPAREN", "EOF"]
+
+
+def test_predicates_and_attributes():
+    assert types("a[b]/@id") == [
+        "NAME", "LBRACKET", "NAME", "RBRACKET", "SLASH", "AT", "NAME", "EOF",
+    ]
+
+
+def test_whitespace_ignored():
+    assert types("  /a \t / b \n") == types("/a/b")
+
+
+def test_positions_recorded():
+    tokens = tokenize("/abc/def")
+    assert tokens[1].position == 1
+    assert tokens[3].position == 5
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(XPathSyntaxError):
+        tokenize("/a/#b")
+
+
+def test_star_and_pipe():
+    assert types("*|a") == ["STAR", "PIPE", "NAME", "EOF"]

@@ -1,0 +1,140 @@
+"""Tests for the XPath parser."""
+
+import pytest
+
+from repro.axes import Axis
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import BinaryOp, CountCall, NumberLiteral, PathExpr
+from repro.xpath.parser import parse_path, parse_query
+
+
+def steps_of(query):
+    expr = parse_query(query)
+    assert isinstance(expr, PathExpr)
+    return expr.path.steps
+
+
+def test_abbreviated_child_steps():
+    steps = steps_of("/a/b")
+    assert [s.axis for s in steps] == [Axis.CHILD, Axis.CHILD]
+    assert [s.test.name for s in steps] == ["a", "b"]
+
+
+def test_double_slash_expands_to_descendant_or_self_node():
+    steps = steps_of("/a//b")
+    assert [s.axis for s in steps] == [
+        Axis.CHILD,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.CHILD,
+    ]
+    assert steps[1].test.kind == "node"
+
+
+def test_leading_double_slash():
+    steps = steps_of("//b")
+    assert steps[0].axis == Axis.DESCENDANT_OR_SELF
+    assert steps[1].test.name == "b"
+
+
+def test_explicit_axes():
+    steps = steps_of("ancestor-or-self::a/following-sibling::*")
+    assert steps[0].axis == Axis.ANCESTOR_OR_SELF
+    assert steps[1].axis == Axis.FOLLOWING_SIBLING
+    assert steps[1].test.kind == "wildcard"
+
+
+def test_dot_and_dotdot():
+    steps = steps_of("./..")
+    assert steps[0].axis == Axis.SELF
+    assert steps[1].axis == Axis.PARENT
+
+
+def test_attribute_abbreviation():
+    steps = steps_of("a/@id")
+    assert steps[1].axis == Axis.ATTRIBUTE
+    assert steps[1].test.name == "id"
+
+
+def test_kind_tests():
+    steps = steps_of("a/text()")
+    assert steps[1].test.kind == "text"
+    steps = steps_of("a/node()")
+    assert steps[1].test.kind == "node"
+
+
+def test_predicates_parsed():
+    steps = steps_of("a[b/c][d]")
+    assert len(steps[0].predicates) == 2
+    inner = steps[0].predicates[0]
+    assert isinstance(inner, PathExpr)
+    assert len(inner.path.steps) == 2
+
+
+def test_count_call():
+    expr = parse_query("count(/a//b)")
+    assert isinstance(expr, CountCall)
+    assert expr.path.absolute
+
+
+def test_arithmetic_left_associative():
+    expr = parse_query("count(/a) + count(/b) - 2")
+    assert isinstance(expr, BinaryOp)
+    assert expr.op == "-"
+    assert isinstance(expr.right, NumberLiteral)
+    assert isinstance(expr.left, BinaryOp)
+    assert expr.left.op == "+"
+
+
+def test_parenthesised_expression():
+    expr = parse_query("(count(/a) + 1)")
+    assert isinstance(expr, BinaryOp)
+
+
+def test_root_only_path():
+    expr = parse_query("/")
+    assert isinstance(expr, PathExpr)
+    assert expr.path.absolute
+    assert expr.path.steps == []
+
+
+def test_relative_path():
+    expr = parse_query("a/b")
+    assert isinstance(expr, PathExpr)
+    assert not expr.path.absolute
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "/a/",
+        "a//",
+        "count(/a",
+        "count()",
+        "a[",
+        "a]",
+        "a[]",
+        "sum(/a)",
+        "unknown-axis::a",
+        "@",
+        "a + ",
+        "a | 3",
+        "count(1)",
+        "'unterminated",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(XPathSyntaxError):
+        parse_query(bad)
+
+
+def test_parse_path_rejects_expressions():
+    with pytest.raises(XPathSyntaxError):
+        parse_path("count(/a)")
+
+
+def test_str_round_trip_reparses():
+    for query in ["/a//b", "count(/a/b)+2", "a[b]/@id", "//*/text()"]:
+        printed = str(parse_query(query))
+        reparsed = parse_query(printed)
+        assert str(reparsed) == printed

@@ -1,0 +1,86 @@
+"""Tests for the reference (logical-tree) evaluator."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.model.builder import tree_from_nested
+from repro.xpath.reference import evaluate_query
+
+
+@pytest.fixture()
+def tree():
+    #        root
+    #   a          a
+    #  b c[x=1]    b
+    #    "t"       d
+    return tree_from_nested(
+        (
+            "root",
+            [
+                ("a", [("b",), ("c", {"x": "1"}, ["t"])]),
+                ("a", [("b", [("d",)])]),
+            ],
+        )
+    )
+
+
+def names(tree, result):
+    return [tree.tag_name(n) if tree.kind_of(n).name != "TEXT" else "#t" for n in result]
+
+
+def test_child_paths(tree):
+    assert len(evaluate_query(tree, "/root/a")) == 2
+    assert len(evaluate_query(tree, "/root/a/b")) == 2
+    assert len(evaluate_query(tree, "/root/b")) == 0
+
+
+def test_descendant(tree):
+    assert len(evaluate_query(tree, "//b")) == 2
+    assert len(evaluate_query(tree, "//a//d")) == 1
+
+
+def test_wildcard_and_kind_tests(tree):
+    assert len(evaluate_query(tree, "/root/*")) == 2
+    assert len(evaluate_query(tree, "//c/text()")) == 1
+    assert len(evaluate_query(tree, "//node()")) == len(tree) - 1 - 1  # minus root doc, attr
+
+
+def test_attribute_axis(tree):
+    assert len(evaluate_query(tree, "//c/@x")) == 1
+    assert len(evaluate_query(tree, "//c/@missing")) == 0
+    # attributes are not selected by the child axis
+    assert len(evaluate_query(tree, "//c/*")) == 0
+
+
+def test_upward_axes(tree):
+    assert len(evaluate_query(tree, "//d/ancestor::a")) == 1
+    assert len(evaluate_query(tree, "//b/..")) == 2
+
+
+def test_sibling_axes(tree):
+    assert len(evaluate_query(tree, "//b/following-sibling::c")) == 1
+    assert len(evaluate_query(tree, "//c/preceding-sibling::b")) == 1
+
+
+def test_predicates(tree):
+    assert len(evaluate_query(tree, "//a[b/d]")) == 1
+    assert len(evaluate_query(tree, "//a[missing]")) == 0
+
+
+def test_count_and_arithmetic(tree):
+    assert evaluate_query(tree, "count(//a)") == 2.0
+    assert evaluate_query(tree, "count(//a) + count(//b) - 1") == 3.0
+
+
+def test_results_in_document_order(tree):
+    result = evaluate_query(tree, "//b | //c" if False else "//*")
+    assert result == sorted(result)
+
+
+def test_root_query(tree):
+    assert evaluate_query(tree, "/") == [tree.root]
+
+
+def test_unsupported_rejected(tree):
+    with pytest.raises(UnsupportedQueryError):
+        evaluate_query(tree, "count(//a) + //b")

@@ -1,0 +1,126 @@
+"""Tests for union expressions and value predicates."""
+
+import pytest
+
+from repro import Database, UnsupportedQueryError
+from repro.xpath.ast import Comparison, CountCall, StringLiteral, UnionExpr
+from repro.xpath.parser import parse_query
+from repro.xpath.reference import evaluate_query
+
+XML = """
+<library>
+  <book id="b1" genre="novel"><title>Alpha</title><year>1990</year></book>
+  <book id="b2" genre="essay"><title>Beta</title><year>2001</year></book>
+  <journal id="j1"><title>Gamma</title></journal>
+</library>
+"""
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(page_size=512, buffer_pages=32)
+    database.load_xml(XML, "d")
+    return database
+
+
+# ------------------------------------------------------------------ parsing
+
+
+def test_union_parses():
+    expr = parse_query("//book | //journal")
+    assert isinstance(expr, UnionExpr)
+    assert len(expr.paths) == 2
+
+
+def test_count_of_union_parses():
+    expr = parse_query("count(//book | //journal)")
+    assert isinstance(expr, CountCall)
+    assert isinstance(expr.path, UnionExpr)
+
+
+def test_comparison_predicate_parses():
+    expr = parse_query('//book[@genre = "novel"]')
+    predicate = expr.path.steps[-1].predicates[0]
+    assert isinstance(predicate, Comparison)
+    assert isinstance(predicate.right, StringLiteral)
+
+
+# ---------------------------------------------------------------- reference
+
+
+def test_reference_union(db):
+    from repro.xml.parser import parse_document
+
+    tree = parse_document(XML)
+    result = evaluate_query(tree, "//book | //journal")
+    assert len(result) == 3
+    # overlap is deduplicated
+    overlap = evaluate_query(tree, "//book | //*")
+    assert len(overlap) == len(evaluate_query(tree, "//*"))
+
+
+def test_reference_value_predicates(db):
+    from repro.xml.parser import parse_document
+
+    tree = parse_document(XML)
+    assert len(evaluate_query(tree, '//book[@genre = "novel"]')) == 1
+    assert len(evaluate_query(tree, '//book[@genre != "novel"]')) == 1
+    assert len(evaluate_query(tree, '//book[title = "Beta"]')) == 1
+    assert len(evaluate_query(tree, '//book[year = 1990]')) == 1
+    assert len(evaluate_query(tree, '//*["x" = missing]')) == 0
+
+
+# ------------------------------------------------------------------- engine
+
+
+def test_union_query_all_plans(db):
+    for plan in ("simple", "xschedule", "xscan", "xscan-shared"):
+        result = db.execute("//book | //journal", doc="d", plan=plan)
+        names = [db.node_info(n)[1] for n in result.nodes]
+        assert names == ["book", "book", "journal"], plan
+
+
+def test_union_dedup(db):
+    result = db.execute("//book | //book/..//book", doc="d", plan="simple")
+    assert len(result.nodes) == 2
+
+
+def test_count_of_union(db):
+    for plan in ("simple", "xschedule", "xscan", "xscan-shared"):
+        assert db.execute("count(//book | //journal)", doc="d", plan=plan).value == 3.0
+
+
+def test_value_predicate_simple_plan(db):
+    result = db.execute('//book[@genre = "novel"]/title', doc="d", plan="simple")
+    assert len(result.nodes) == 1
+    nid = result.nodes[0]
+    # the element string value crosses to its text child
+    text = db.execute(
+        '//book[title = "Alpha"]/@id', doc="d", plan="simple"
+    )
+    assert db.node_info(text.nodes[0])[2] == "b1"
+
+
+def test_value_predicate_flipped_operands(db):
+    result = db.execute('//book["essay" = @genre]', doc="d", plan="simple")
+    assert len(result.nodes) == 1
+
+
+def test_value_predicates_rejected_by_cost_plans(db):
+    with pytest.raises(UnsupportedQueryError):
+        db.execute('//book[@genre = "novel"]', doc="d", plan="xschedule")
+
+
+def test_numeric_comparison_top_level(db):
+    assert db.execute("count(//book) = 2", doc="d", plan="simple").value == 1.0
+    assert db.execute("count(//book) != 2", doc="d", plan="simple").value == 0.0
+
+
+def test_path_comparison_top_level_rejected(db):
+    with pytest.raises(UnsupportedQueryError):
+        db.execute('//book = "x"', doc="d", plan="simple")
+
+
+def test_explain_renders_union(db):
+    compiled = db.prepare("//book | //journal", doc="d", plan="xschedule")
+    assert "union" in compiled.explain()
