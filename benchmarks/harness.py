@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro import Database, EvalOptions, ImportOptions
+from repro import Database, EvalOptions, ImportOptions, QuerySession
 from repro.engine import Result
 from repro.xmark import PAPER_QUERIES, Q6_PRIME, Q7, Q15, generate_xmark
 
@@ -66,9 +66,21 @@ def build_xmark_db(
     return db
 
 
+#: one cold session per database — the plan cache spares the sweep
+#: thousands of recompiles while every run still gets a cold runtime
+_SESSIONS: dict[int, QuerySession] = {}
+
+
+def session_for(db: Database) -> QuerySession:
+    key = id(db)
+    if key not in _SESSIONS:
+        _SESSIONS[key] = db.session()
+    return _SESSIONS[key]
+
+
 def run_query(db: Database, query: str, plan: str, options: EvalOptions | None = None) -> Result:
-    """One cold execution."""
-    return db.execute(query, doc="xmark", plan=plan, options=options)
+    """One cold execution (through the database's cached session)."""
+    return session_for(db).execute(query, doc="xmark", plan=plan, options=options)
 
 
 # ------------------------------------------------------------- formatting

@@ -51,6 +51,19 @@ def main(scale: float = 0.25) -> None:
     print(f"Q7, one shared scan:      {one_scan.total_time:.3f}s "
           f"({one_scan.stats.pages_read} pages)")
 
+    # run_batch generalizes both: a whole batch of queries flows onto one
+    # runtime — scan-shareable paths ride a single sequential pass, the
+    # rest interleave over the shared disk queue.
+    paths = ["/site/regions//item", "/site//description",
+             "/site//annotation", "/site//emailaddress"]
+    cold = [db.execute(p, doc="xmark") for p in paths]
+    batch = db.run_batch(paths, doc="xmark")
+    print(f"\nbatch of {len(paths)} paths: {batch.total_time:.3f}s, "
+          f"{batch.stats.io_requests} I/O requests "
+          f"({batch.scan_shared} on the shared scan) vs "
+          f"{sum(r.stats.io_requests for r in cold)} requests / "
+          f"{sum(r.total_time for r in cold):.3f}s for one-at-a-time cold runs")
+
 
 if __name__ == "__main__":
     main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

@@ -1,4 +1,4 @@
-"""Quickstart: load a document, run path queries on three physical plans.
+"""Quickstart: load a document, run queries through an execution session.
 
 Run with::
 
@@ -29,12 +29,16 @@ def main() -> None:
     print(f"imported {doc.n_nodes} nodes onto {doc.n_pages} pages "
           f"({doc.n_border_pairs} inter-cluster edges)\n")
 
+    # A session caches compiled plans and aggregates cost across runs;
+    # each execute still runs cold (fresh buffer, parked disk head).
+    session = db.session()
+
     # Numeric query: count() with arithmetic.
-    result = db.execute("count(//book) + count(//journal)", doc="catalog")
+    result = session.execute("count(//book) + count(//journal)", doc="catalog")
     print(f"publications: {result.value:.0f}")
 
     # Node query: results arrive in document order; inspect them.
-    result = db.execute("//book/title/text()", doc="catalog", plan="simple")
+    result = session.execute("//book/title/text()", doc="catalog", plan="simple")
     for nid in result.nodes:
         kind, tag, value = db.node_info(nid)
         print(f"  title: {value}")
@@ -43,13 +47,26 @@ def main() -> None:
     # physical behaviour (pages read, seeks, simulated time).
     print(f"\n{'plan':<10s} {'total[s]':>10s} {'cpu[s]':>8s} {'pages':>6s} {'seeks':>6s}")
     for plan in ("simple", "xschedule", "xscan"):
-        r = db.execute("//title", doc="catalog", plan=plan)
+        r = session.execute("//title", doc="catalog", plan=plan)
         print(f"{plan:<10s} {r.total_time:>10.6f} {r.cpu_time:>8.6f} "
               f"{r.stats.pages_read:>6d} {r.stats.seeks:>6d}")
 
+    # Re-executing hits the plan cache: no recompile.
+    session.execute("//title", doc="catalog", plan="simple")
+    print(f"\nsession: {session.runs} runs, {session.compiles} compiles, "
+          f"{session.cache_hits} plan-cache hits, "
+          f"{session.total_time:.6f}s simulated in total")
+
     # "auto" lets the cost model pick the I/O operator.
-    r = db.execute("//title", doc="catalog", plan="auto")
-    print(f"\nauto chose: {[k.value for k in r.plan_kinds]}")
+    r = session.execute("//title", doc="catalog", plan="auto")
+    print(f"auto chose: {[k.value for k in r.plan_kinds]}")
+
+    # A batch routes several queries onto ONE runtime: scan-shareable
+    # paths ride a single sequential pass, so the document is read once.
+    batch = db.run_batch(["//title", "//book", "count(//year)"], doc="catalog")
+    answers = [r.value if r.nodes is None else len(r.nodes) for r in batch.results]
+    print(f"\nbatch of 3: answers={answers}, {batch.scan_shared} on the shared "
+          f"scan, {batch.stats.pages_read} pages read for the whole batch")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.axes import Axis
 from repro.engine import Database, Result
+from repro.exec import BatchOutcome, ExecutionEnvironment, QuerySession, run_batch
 from repro.errors import (
     PlanError,
     ReproError,
@@ -41,6 +42,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "Result",
+    "ExecutionEnvironment",
+    "QuerySession",
+    "BatchOutcome",
+    "run_batch",
     "Axis",
     "EvalOptions",
     "CostModel",

@@ -53,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--show-nodes", type=int, default=5, metavar="N", help="print up to N result nodes"
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each query N times through one session (exercises the "
+        "compiled-plan cache); prints per-run and aggregate timings",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="keep one runtime (buffer, clock, disk head) alive across runs "
+        "instead of running each one cold",
+    )
     return parser
 
 
@@ -108,19 +122,53 @@ def print_result(db: Database, plan: str, result, show_nodes: int) -> None:
             print(f"      ... and {len(result.nodes) - show_nodes} more")
 
 
+def run_repeated(db, session, query: str, plan: str, args: argparse.Namespace) -> None:
+    """Run one query ``--repeat`` times through the session; print each
+    run and the session-level aggregate."""
+    results = []
+    for run in range(1, args.repeat + 1):
+        compiles_before = session.compiles
+        try:
+            result = session.execute(query, doc="doc", plan=plan)
+        except ReproError as error:
+            print(f"  {plan:<14s} error: {error}")
+            return
+        results.append(result)
+        cache = "compiled" if session.compiles > compiles_before else "plan cache hit"
+        print(
+            f"  {plan:<14s} run {run}/{args.repeat}  total={result.total_time:9.4f}s "
+            f"cpu={result.cpu_time:8.4f}s io_wait={result.io_wait:8.4f}s "
+            f"pages={result.stats.pages_read:6d} [{cache}]"
+        )
+    total = sum(r.total_time for r in results)
+    print(
+        f"  {'':<14s} aggregate: total={total:9.4f}s "
+        f"mean={total / len(results):8.4f}s "
+        f"({session.compiles} compiles, {session.cache_hits} cache hits, "
+        f"{'warm' if args.warm else 'cold'} runs)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 1
     try:
         db = load_database(args)
+        session = db.session(warm=args.warm)
         for query in args.queries:
             print(f"\n{query}")
             if args.explain:
-                compiled = db.prepare(query, doc="doc", plan=args.plan)
+                compiled = session.prepare(query, doc="doc", plan=args.plan)
                 print(compiled.explain())
             plans = PLAN_CHOICES[1:] if args.compare else (args.plan,)
             for plan in plans:
+                if args.repeat > 1:
+                    run_repeated(db, session, query, plan, args)
+                    continue
                 try:
-                    result = db.execute(query, doc="doc", plan=plan)
+                    result = session.execute(query, doc="doc", plan=plan)
                 except ReproError as error:
                     print(f"  {plan:<14s} error: {error}")
                     continue

@@ -118,6 +118,35 @@ def _drive_query(compiled: CompiledQuery, ctx: EvalContext):
     return (value, None)
 
 
+def interleave(
+    jobs: list[tuple[CompiledQuery, EvalContext]],
+) -> list[tuple[float | None, list[NodeID] | None, tuple[float, float, float]]]:
+    """Advance compiled queries round-robin, one result tuple at a time.
+
+    Each job is ``(compiled, ctx)`` where every ``ctx`` is a private view
+    over one shared runtime (see
+    :meth:`repro.exec.environment.ExecutionEnvironment.view`) — the
+    queries' disk requests land in a single controller queue and their
+    reads share one buffer pool.  Returns, in job order,
+    ``(value, nodes, clock_checkpoint_at_completion)``.
+    """
+    drivers = [
+        (compiled, ctx, _drive_query(compiled, ctx)) for compiled, ctx in jobs
+    ]
+    outcomes: list[tuple | None] = [None] * len(drivers)
+    active = list(range(len(drivers)))
+    while active:
+        for index in list(active):
+            compiled, ctx, generator = drivers[index]
+            try:
+                next(generator)
+            except StopIteration as done:
+                value, nodes = done.value
+                outcomes[index] = (value, nodes, ctx.clock.checkpoint())
+                active.remove(index)
+    return outcomes  # type: ignore[return-value]
+
+
 def run_concurrent(
     db,
     requests: list[tuple[str, str, str]],
@@ -131,42 +160,26 @@ def run_concurrent(
     """
     if not requests:
         raise PlanError("run_concurrent needs at least one request")
-    shared = db.make_context(options)
-    drivers = []
-    for query, doc, plan in requests:
-        compiled = db.prepare(query, doc, plan, options)
-        # a private context view sharing the physical components
-        ctx = EvalContext(
-            shared.segment,
-            shared.buffer,
-            shared.iosys,
-            shared.clock,
-            shared.costs,
-            shared.stats,
-            shared.options if options is None else options,
-            tags=shared.tags,
+    shared = db.env.fresh_context(options)
+    jobs = [
+        (db.prepare(query, doc, plan, options), db.env.view(shared, options))
+        for query, doc, plan in requests
+    ]
+    outcomes = interleave(jobs)
+    results = [
+        ConcurrentResult(
+            query=query,
+            plan_kinds=compiled.plan_kinds,
+            value=value,
+            nodes=nodes,
+            finished_at=checkpoint[0],
         )
-        drivers.append((query, compiled, ctx, _drive_query(compiled, ctx)))
-
-    results: list[ConcurrentResult | None] = [None] * len(drivers)
-    active = list(range(len(drivers)))
-    while active:
-        for index in list(active):
-            query, compiled, ctx, generator = drivers[index]
-            try:
-                next(generator)
-            except StopIteration as done:
-                value, nodes = done.value
-                results[index] = ConcurrentResult(
-                    query=query,
-                    plan_kinds=compiled.plan_kinds,
-                    value=value,
-                    nodes=nodes,
-                    finished_at=shared.clock.now,
-                )
-                active.remove(index)
+        for (query, _, _), (compiled, _), (value, nodes, checkpoint) in zip(
+            requests, jobs, outcomes
+        )
+    ]
     return ConcurrentOutcome(
-        results=[r for r in results if r is not None],
+        results=results,
         total_time=shared.clock.now,
         cpu_time=shared.clock.cpu_time,
         io_wait=shared.clock.io_wait,

@@ -18,18 +18,16 @@ cold caches, Sec. 6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.algebra.context import EvalContext, EvalOptions
 from repro.errors import ReproError
+from repro.exec.environment import ExecutionEnvironment
 from repro.model.builder import TreeBuilder
 from repro.model.tree import Kind, LogicalTree
-from repro.sim.clock import SimClock
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
-from repro.sim.disk import DiskDevice, DiskGeometry, SchedulingPolicy
-from repro.sim.iosys import AsyncIOSystem
+from repro.sim.disk import DiskGeometry, SchedulingPolicy
 from repro.sim.stats import Stats
-from repro.storage.buffer import BufferManager
 from repro.storage.importer import ImportOptions
 from repro.storage.nodeid import NodeID, page_of, slot_of
 from repro.storage.record import CoreRecord
@@ -51,6 +49,43 @@ class Result:
     cpu_time: float  #: simulated CPU seconds (the paper's Table 3 "CPU")
     io_wait: float  #: simulated seconds blocked on the disk
     stats: Stats
+    #: how many queries shared the physical I/O behind ``stats``; 1 for a
+    #: standalone execution.  Batched results all reference the batch's
+    #: shared counter bundle, so ``stats.io_requests / shared_io_queries``
+    #: is the amortized per-query attribution.
+    shared_io_queries: int = 1
+
+    @classmethod
+    def from_context(
+        cls,
+        ctx: EvalContext,
+        mark: tuple[float, float, float],
+        query: str,
+        doc: str,
+        plan_kinds: list[PlanKind],
+        value: float | None = None,
+        nodes: list[NodeID] | None = None,
+        stats: Stats | None = None,
+        shared_io_queries: int = 1,
+    ) -> "Result":
+        """Bundle the timing since ``mark`` and ``ctx``'s counters.
+
+        ``stats`` overrides the context's bundle (warm sessions pass a
+        per-run delta; batches pass the shared batch bundle).
+        """
+        total, cpu, io_wait = ctx.clock.since(mark)
+        return cls(
+            query=query,
+            doc=doc,
+            plan_kinds=plan_kinds,
+            value=value,
+            nodes=nodes,
+            total_time=total,
+            cpu_time=cpu,
+            io_wait=io_wait,
+            stats=ctx.stats if stats is None else stats,
+            shared_io_queries=shared_io_queries,
+        )
 
     @property
     def cpu_fraction(self) -> float:
@@ -82,15 +117,25 @@ class Database:
         disk_policy: SchedulingPolicy = SchedulingPolicy.SSTF,
         costs: CostModel | None = None,
         eval_options: EvalOptions | None = None,
+        store: DocumentStore | None = None,
     ) -> None:
-        self.geometry = geometry or DiskGeometry(page_size=page_size)
-        if self.geometry.page_size != page_size:
-            raise ReproError("geometry.page_size must match the database page size")
-        self.store = DocumentStore(page_size)
+        if store is not None and store.segment.page_size != page_size:
+            raise ReproError("store page size must match the database page size")
+        self.store = store or DocumentStore(page_size)
         self.buffer_pages = buffer_pages
         self.disk_policy = disk_policy
         self.costs = costs or DEFAULT_COST_MODEL
         self.eval_options = eval_options or EvalOptions()
+        self.env = ExecutionEnvironment(
+            self.store.segment,
+            self.store.tags,
+            geometry=geometry,
+            disk_policy=self.disk_policy,
+            costs=self.costs,
+            buffer_pages=buffer_pages,
+            options=self.eval_options,
+        )
+        self.geometry = self.env.geometry
 
     # ------------------------------------------------------------- loading
 
@@ -147,23 +192,7 @@ class Database:
 
     def make_context(self, options: EvalOptions | None = None) -> EvalContext:
         """A fresh cold execution context (new clock, empty buffer)."""
-        stats = Stats()
-        clock = SimClock()
-        disk = DiskDevice(self.geometry, self.disk_policy, stats)
-        iosys = AsyncIOSystem(disk, clock, self.costs, stats)
-        buffer = BufferManager(
-            self.store.segment, iosys, clock, self.costs, self.buffer_pages, stats
-        )
-        return EvalContext(
-            self.store.segment,
-            buffer,
-            iosys,
-            clock,
-            self.costs,
-            stats,
-            options or self.eval_options,
-            tags=self.store.tags,
-        )
+        return self.env.fresh_context(options)
 
     def execute(
         self,
@@ -176,24 +205,56 @@ class Database:
         """Compile and run ``query``; returns a :class:`Result`.
 
         Pass an explicit ``context`` to run warm (reusing its buffer and
-        clock); by default every call is a cold run.
+        clock); by default every call is a cold run.  For repeated or
+        batched execution, prefer a :meth:`session` — it caches compiled
+        plans and can keep the buffer warm across runs.
         """
         compiled = self.prepare(query, doc, plan, options)
-        ctx = context or self.make_context(options)
+        ctx = context or self.env.fresh_context(options)
         mark = ctx.clock.checkpoint()
         value, nodes = compiled.execute(ctx)
-        total, cpu, io_wait = ctx.clock.since(mark)
-        return Result(
+        return Result.from_context(
+            ctx,
+            mark,
             query=query,
             doc=doc,
             plan_kinds=compiled.plan_kinds,
             value=value,
             nodes=nodes,
-            total_time=total,
-            cpu_time=cpu,
-            io_wait=io_wait,
-            stats=ctx.stats,
         )
+
+    def session(
+        self,
+        warm: bool = False,
+        cache_size: int = 64,
+        options: EvalOptions | None = None,
+    ) -> "QuerySession":
+        """A :class:`~repro.exec.session.QuerySession` over this database.
+
+        Sessions cache compiled plans (repeated executes skip
+        lex/parse/compile) and, with ``warm=True``, keep one runtime —
+        clock, buffer, disk head — alive across executes.
+        """
+        from repro.exec.session import QuerySession
+
+        return QuerySession(self, warm=warm, cache_size=cache_size, options=options)
+
+    def run_batch(
+        self,
+        requests,
+        doc: str = "default",
+        plan: PlanKind | str = PlanKind.AUTO,
+        options: EvalOptions | None = None,
+    ):
+        """Execute a batch of queries over one shared runtime.
+
+        See :func:`repro.exec.batch.run_batch`; scan-shareable location
+        paths ride a single sequential scan, the rest interleave over the
+        shared disk queue.
+        """
+        from repro.exec.batch import run_batch
+
+        return run_batch(self.session(options=options), requests, doc=doc, plan=plan)
 
     # --------------------------------------------------------- persistence
 
@@ -223,15 +284,15 @@ class Database:
         from repro.storage.store import recollect_statistics
 
         store = load_store(path)
-        db = cls.__new__(cls)
-        db.store = store
-        db.geometry = geometry or DiskGeometry(page_size=store.segment.page_size)
-        if db.geometry.page_size != store.segment.page_size:
-            raise ReproError("geometry.page_size must match the stored page size")
-        db.buffer_pages = buffer_pages
-        db.disk_policy = disk_policy
-        db.costs = costs or DEFAULT_COST_MODEL
-        db.eval_options = eval_options or EvalOptions()
+        db = cls(
+            page_size=store.segment.page_size,
+            buffer_pages=buffer_pages,
+            geometry=geometry,
+            disk_policy=disk_policy,
+            costs=costs,
+            eval_options=eval_options,
+            store=store,
+        )
         if collect_statistics:
             for doc in store.documents.values():
                 recollect_statistics(store, doc)
@@ -257,7 +318,7 @@ class Database:
         from repro.storage.export import export_navigate, export_scan
 
         document = self.store.document(doc)
-        ctx = self.make_context(options)
+        ctx = self.env.fresh_context(options)
         mark = ctx.clock.checkpoint()
         if method == "scan":
             text = export_scan(ctx, document)
@@ -265,17 +326,8 @@ class Database:
             text = export_navigate(ctx, document)
         else:
             raise ReproError(f"unknown export method {method!r}")
-        total, cpu, io_wait = ctx.clock.since(mark)
-        result = Result(
-            query=f"export[{method}]",
-            doc=doc,
-            plan_kinds=[],
-            value=None,
-            nodes=None,
-            total_time=total,
-            cpu_time=cpu,
-            io_wait=io_wait,
-            stats=ctx.stats,
+        result = Result.from_context(
+            ctx, mark, query=f"export[{method}]", doc=doc, plan_kinds=[]
         )
         return text, result
 

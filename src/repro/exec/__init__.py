@@ -1,0 +1,30 @@
+"""The execution-session layer.
+
+Three layers between the :class:`~repro.engine.Database` facade and the
+physical algebra (see ``docs/execution.md``):
+
+* :class:`~repro.exec.environment.ExecutionEnvironment` — owns the
+  simulated runtime wiring (clock, disk, async I/O, buffer) and the
+  cold/view context policies;
+* :class:`~repro.exec.session.QuerySession` — LRU compiled-plan cache,
+  optional warm runtime, per-session aggregate accounting;
+* :func:`~repro.exec.batch.run_batch` — routes a batch of queries onto
+  one I/O-performing operator (shared scan) or the shared disk queue.
+"""
+
+from repro.exec.environment import ExecutionEnvironment
+
+__all__ = ["ExecutionEnvironment", "QuerySession", "BatchOutcome", "run_batch"]
+
+_LAZY = {"QuerySession": "session", "BatchOutcome": "batch", "run_batch": "batch"}
+
+
+def __getattr__(name: str):
+    # session/batch import repro.engine, which imports this package for the
+    # environment — resolve them on first use to keep the import acyclic.
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.exec.{_LAZY[name]}")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

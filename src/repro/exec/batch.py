@@ -1,0 +1,193 @@
+"""Batched multi-query execution over one shared runtime.
+
+The paper isolates all physical access in one I/O-performing operator so
+the scheduler can amortize cost across many pending navigations; its
+outlook extends this to *multiple location paths* sharing one operator.
+:func:`run_batch` is that extension lifted to the engine's surface: a
+batch of queries is routed onto a single execution environment —
+
+* **scan-shareable** queries (location paths whose resolved plan is the
+  sequential scan, all over one document) ride a *single* physical pass
+  via :func:`repro.algebra.multiscan.shared_scan`;
+* everything else is **interleaved** round-robin over the shared
+  asynchronous disk queue (:func:`repro.algebra.concurrent.interleave`),
+  where the controller sees every query's pending requests at once and
+  one query's reads satisfy another's buffer hits.
+
+Routing is cost-sensitive in the batch sense: a query compiled with
+``plan="auto"`` whose estimator picks XSchedule *in isolation* is still
+promoted onto the shared scan when at least one other batch member scans
+the same document — the marginal I/O of adding a path to a scan that is
+happening anyway is zero.
+
+Every per-query :class:`~repro.engine.Result` carries the batch's shared
+:class:`~repro.sim.stats.Stats` bundle with
+``shared_io_queries=len(batch)`` recording the amortization, and
+finished-at timing on the shared clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.concurrent import interleave
+from repro.algebra.multiscan import shared_scan
+from repro.engine import Result
+from repro.errors import PlanError, UnsupportedQueryError
+from repro.sim.stats import Stats
+from repro.xpath.compile import CompiledQuery, PlanKind
+
+
+@dataclass
+class BatchOutcome:
+    """Aggregate outcome of one :func:`run_batch` call."""
+
+    results: list[Result]  #: per-query results, in request order
+    total_time: float  #: simulated makespan of the whole batch
+    cpu_time: float
+    io_wait: float
+    stats: Stats  #: shared physical counters for the whole batch
+    scan_shared: int  #: queries evaluated via the shared sequential scan
+    interleaved: int  #: queries interleaved over the shared disk queue
+
+    @property
+    def makespan(self) -> float:
+        return self.total_time
+
+
+def _normalize(request, doc: str, plan) -> tuple[str, str, PlanKind]:
+    if isinstance(request, str):
+        query, rdoc, rplan = request, doc, plan
+    else:
+        parts = tuple(request)
+        query = parts[0]
+        rdoc = parts[1] if len(parts) > 1 else doc
+        rplan = parts[2] if len(parts) > 2 else plan
+    kind = rplan if isinstance(rplan, PlanKind) else PlanKind(rplan)
+    return query, rdoc, kind
+
+
+def _pure_scan(compiled: CompiledQuery) -> bool:
+    """True if every leaf path scans and they all target one document."""
+    plans = compiled.path_plans()
+    return (
+        bool(plans)
+        and all(p.kind is PlanKind.XSCAN for p in plans)
+        and len({id(p.document) for p in plans}) == 1
+    )
+
+
+def run_batch(
+    session,
+    requests,
+    doc: str = "default",
+    plan: PlanKind | str = PlanKind.AUTO,
+) -> BatchOutcome:
+    """Execute a batch of queries over one shared runtime.
+
+    ``requests`` is a list of query strings or ``(query[, doc[, plan]])``
+    tuples; ``doc``/``plan`` supply the defaults.  Compilation goes
+    through ``session``'s plan cache; warm sessions run the batch on
+    their persistent runtime.
+    """
+    reqs = [_normalize(r, doc, plan) for r in requests]
+    if not reqs:
+        raise PlanError("run_batch needs at least one request")
+    compiled: list[CompiledQuery] = [
+        session.prepare(q, d, k, session.options) for q, d, k in reqs
+    ]
+
+    # ---- route: shared scan per document vs. shared disk queue
+    scan_groups: dict[int, list[int]] = {}  # id(document) -> request indices
+    queue_members: list[int] = []
+    promotable: dict[int, list[tuple[int, CompiledQuery]]] = {}
+    for index, ((query, rdoc, kind), cq) in enumerate(zip(reqs, compiled)):
+        if _pure_scan(cq):
+            scan_groups.setdefault(id(cq.path_plans()[0].document), []).append(index)
+        elif kind is PlanKind.AUTO:
+            try:
+                rescanned = session.prepare(query, rdoc, PlanKind.XSCAN, session.options)
+            except UnsupportedQueryError:
+                queue_members.append(index)
+                continue
+            if _pure_scan(rescanned):
+                doc_key = id(rescanned.path_plans()[0].document)
+                promotable.setdefault(doc_key, []).append((index, rescanned))
+            else:
+                queue_members.append(index)
+        else:
+            queue_members.append(index)
+    for doc_key, members in promotable.items():
+        # promote only where the scan is shared with at least one other query
+        if len(scan_groups.get(doc_key, [])) + len(members) >= 2:
+            for index, rescanned in members:
+                compiled[index] = rescanned
+                scan_groups.setdefault(doc_key, []).append(index)
+        else:
+            queue_members.extend(index for index, _ in members)
+    queue_members.sort()
+
+    shared = session.context(session.options)
+    mark = shared.clock.checkpoint()
+    before = shared.stats.snapshot()
+    #: per request: (value, nodes, clock checkpoint at completion)
+    outcomes: list[tuple | None] = [None] * len(reqs)
+
+    # ---- phase 1: one sequential scan per document feeds all its paths
+    for doc_key in scan_groups:
+        members = sorted(scan_groups[doc_key])
+        view = session.env.view(shared, session.options)
+        plans: list = []
+        seen: set[int] = set()
+        for index in members:
+            for path_plan in compiled[index].path_plans():
+                if id(path_plan) not in seen:  # duplicate queries share one entry
+                    seen.add(id(path_plan))
+                    plans.append(path_plan)
+        result_sets = shared_scan(view, plans[0].document, plans)
+        by_plan = {id(p): nids for p, nids in zip(plans, result_sets)}
+        for index in members:
+            value, nodes = compiled[index].resolve_with_results(view, by_plan)
+            outcomes[index] = (value, nodes, shared.clock.checkpoint())
+
+    # ---- phase 2: the rest interleave over the shared disk queue
+    if queue_members:
+        jobs = [
+            (compiled[index], session.env.view(shared, session.options))
+            for index in queue_members
+        ]
+        for index, outcome in zip(queue_members, interleave(jobs)):
+            outcomes[index] = outcome
+
+    # ---- per-query results with shared-I/O attribution
+    batch_stats = shared.stats.diff(before)
+    total, cpu, io_wait = shared.clock.since(mark)
+    results: list[Result] = []
+    for (query, rdoc, _), cq, outcome in zip(reqs, compiled, outcomes):
+        value, nodes, checkpoint = outcome
+        results.append(
+            Result(
+                query=query,
+                doc=rdoc,
+                plan_kinds=cq.plan_kinds,
+                value=value,
+                nodes=nodes,
+                total_time=checkpoint[0] - mark[0],
+                cpu_time=checkpoint[1] - mark[1],
+                io_wait=checkpoint[2] - mark[2],
+                stats=batch_stats,
+                shared_io_queries=len(reqs),
+            )
+        )
+    scan_count = sum(len(members) for members in scan_groups.values())
+    outcome = BatchOutcome(
+        results=results,
+        total_time=total,
+        cpu_time=cpu,
+        io_wait=io_wait,
+        stats=batch_stats,
+        scan_shared=scan_count,
+        interleaved=len(queue_members),
+    )
+    session._account_batch(outcome)
+    return outcome

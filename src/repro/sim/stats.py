@@ -53,6 +53,23 @@ class Stats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def snapshot(self) -> "Stats":
+        """An independent copy of the current counter values."""
+        return Stats(**self.as_dict())
+
+    def diff(self, earlier: "Stats") -> "Stats":
+        """Counter-wise ``self - earlier`` (the activity since ``earlier``).
+
+        Used by warm execution sessions to attribute per-run counters on a
+        shared, long-lived runtime: snapshot before the run, diff after.
+        """
+        return Stats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
     def as_dict(self) -> dict[str, int]:
         """Return a plain ``{name: value}`` dictionary of all counters."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -318,17 +318,24 @@ class CompiledQuery:
             if right is not None:
                 self._collect_plans(right, out)
 
-    def _execute_shared(self, ctx: EvalContext) -> tuple[float | None, list[NodeID] | None]:
-        from repro.algebra.misc import order_results
-        from repro.algebra.multiscan import shared_scan
-
+    def path_plans(self) -> list["CompiledPathPlan"]:
+        """All location-path plans at the leaves of this query."""
         plans: list[CompiledPathPlan] = []
         self._collect_plans(self.expr, plans)
-        document = plans[0].document
-        if any(plan.document is not document for plan in plans):
-            raise UnsupportedQueryError("shared scan requires a single document")
-        result_sets = shared_scan(ctx, document, plans)
-        by_plan = {id(plan): nids for plan, nids in zip(plans, result_sets)}
+        return plans
+
+    def resolve_with_results(
+        self, ctx: EvalContext, by_plan: dict[int, list[NodeID]]
+    ) -> tuple[float | None, list[NodeID] | None]:
+        """Finish evaluation given each leaf path's (unordered) node set.
+
+        ``by_plan`` maps ``id(plan) -> NodeIDs`` for every plan in
+        :meth:`path_plans`; the expression tree above the leaves (counts,
+        unions, arithmetic, ordering) is evaluated here.  Used by the
+        shared-scan execution path and by batched multi-query execution,
+        where one physical scan feeds many queries.
+        """
+        from repro.algebra.misc import order_results
 
         def nodes_of(node: object) -> list:
             if isinstance(node, CompiledPathPlan):
@@ -358,6 +365,17 @@ class CompiledQuery:
         if isinstance(self.expr, tuple) and self.expr[0] == "union":
             return None, order_results(ctx, nodes_of(self.expr))
         return value_of(self.expr), None
+
+    def _execute_shared(self, ctx: EvalContext) -> tuple[float | None, list[NodeID] | None]:
+        from repro.algebra.multiscan import shared_scan
+
+        plans = self.path_plans()
+        document = plans[0].document
+        if any(plan.document is not document for plan in plans):
+            raise UnsupportedQueryError("shared scan requires a single document")
+        result_sets = shared_scan(ctx, document, plans)
+        by_plan = {id(plan): nids for plan, nids in zip(plans, result_sets)}
+        return self.resolve_with_results(ctx, by_plan)
 
     def _number(self, node: object, ctx: EvalContext) -> float:
         if isinstance(node, float):

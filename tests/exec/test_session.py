@@ -1,0 +1,134 @@
+"""Tests for QuerySession: plan cache, warm runtimes, aggregation."""
+
+import pytest
+
+from repro import EvalOptions
+from repro.sim.stats import Stats
+
+from tests.conftest import small_database
+
+
+# ------------------------------------------------------------- plan cache
+
+
+def test_repeat_execute_hits_plan_cache():
+    db, _ = small_database(seed=0)
+    session = db.session()
+    first = session.execute("//a/b", doc="d")
+    assert (session.compiles, session.cache_hits) == (1, 0)
+    for _ in range(4):
+        result = session.execute("//a/b", doc="d")
+        assert result.nodes == first.nodes
+    assert session.compiles == 1  # zero recompiles after the first run
+    assert session.cache_hits == 4
+
+
+def test_xmark_query_recompiles_zero_times(xmark_small):
+    """Acceptance: re-executing the same XMark query hits the plan cache."""
+    db, _ = xmark_small
+    session = db.session()
+    a = session.execute("count(/site/regions//item)", doc="xmark")
+    b = session.execute("count(/site/regions//item)", doc="xmark")
+    assert a.value == b.value
+    assert session.compiles == 1
+    assert session.cache_misses == 1
+    assert session.cache_hits == 1
+
+
+def test_cache_key_includes_plan_doc_and_options():
+    db, _ = small_database(seed=1)
+    session = db.session()
+    session.execute("//a", doc="d", plan="simple")
+    session.execute("//a", doc="d", plan="xscan")
+    session.execute("//a", doc="d", plan="simple", options=EvalOptions(k_min_queue=9))
+    assert session.compiles == 3
+    assert session.cache_hits == 0
+
+
+def test_lru_eviction():
+    db, _ = small_database(seed=1)
+    session = db.session(cache_size=2)
+    session.prepare("//a", doc="d")
+    session.prepare("//b", doc="d")
+    session.prepare("//c", doc="d")  # evicts //a
+    assert session.cached_plans == 2
+    session.prepare("//a", doc="d")
+    assert session.compiles == 4  # //a was recompiled
+    session.prepare("//a", doc="d")
+    assert session.cache_hits == 1
+
+
+def test_clear_cache_forces_recompile():
+    db, _ = small_database(seed=1)
+    session = db.session()
+    session.execute("//a", doc="d")
+    session.clear_cache()
+    session.execute("//a", doc="d")
+    assert session.compiles == 2
+
+
+# ------------------------------------------------------- warm vs cold runs
+
+
+def test_cold_session_runs_are_identical():
+    db, _ = small_database(seed=2)
+    session = db.session()
+    a = session.execute("count(//b)", doc="d", plan="xschedule")
+    b = session.execute("count(//b)", doc="d", plan="xschedule")
+    assert a.total_time == b.total_time
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def test_warm_session_timing_monotonicity():
+    db, _ = small_database(seed=2)
+    cold = db.session().execute("count(//b)", doc="d", plan="simple")
+    warm = db.session(warm=True)
+    first = warm.execute("count(//b)", doc="d", plan="simple")
+    second = warm.execute("count(//b)", doc="d", plan="simple")
+    assert second.value == first.value == cold.value
+    # the first warm run IS the cold run; the second reuses the buffer
+    assert first.total_time == pytest.approx(cold.total_time)
+    assert second.total_time < first.total_time
+    assert second.io_wait <= first.io_wait
+    assert second.stats.pages_read <= first.stats.pages_read
+
+
+def test_warm_session_buffer_survives_across_queries():
+    db, _ = small_database(seed=3)
+    warm = db.session(warm=True)
+    warm.execute("//a", doc="d", plan="simple")
+    second = warm.execute("//a/b", doc="d", plan="simple")
+    cold = db.session().execute("//a/b", doc="d", plan="simple")
+    assert second.total_time < cold.total_time
+
+
+def test_cool_discards_warm_runtime():
+    db, _ = small_database(seed=3)
+    warm = db.session(warm=True)
+    first = warm.execute("count(//b)", doc="d", plan="simple")
+    warm.cool()
+    again = warm.execute("count(//b)", doc="d", plan="simple")
+    assert again.total_time == pytest.approx(first.total_time)
+    assert again.stats.pages_read == first.stats.pages_read
+
+
+# ------------------------------------------------------------ aggregation
+
+
+def test_session_aggregates_runs_and_time():
+    db, _ = small_database(seed=4)
+    session = db.session()
+    results = [session.execute(q, doc="d") for q in ("//a", "//b", "count(//c)")]
+    assert session.runs == 3
+    assert session.total_time == pytest.approx(sum(r.total_time for r in results))
+    assert session.io_wait == pytest.approx(sum(r.io_wait for r in results))
+
+
+def test_session_stats_equal_merged_per_run_stats_warm_and_cold():
+    for warm in (False, True):
+        db, _ = small_database(seed=5)
+        session = db.session(warm=warm)
+        merged = Stats()
+        for query in ("//a", "//a", "//b/c", "count(//d)"):
+            merged.merge(session.execute(query, doc="d").stats)
+        assert session.stats.as_dict() == merged.as_dict(), f"warm={warm}"

@@ -68,6 +68,33 @@ def test_parser_requires_source():
         build_parser().parse_args(["count(//a)"])
 
 
+def test_repeat_exercises_plan_cache(xml_file, capsys):
+    assert main(["--xml", xml_file, "--repeat", "3", "count(//item)"]) == 0
+    out = capsys.readouterr().out
+    assert "run 1/3" in out
+    assert "run 3/3" in out
+    assert out.count("[plan cache hit]") == 2
+    assert out.count("[compiled]") == 1
+    assert "aggregate:" in out
+    assert "1 compiles, 2 cache hits" in out
+    assert "cold runs" in out
+
+
+def test_repeat_warm_reuses_buffer(xml_file, capsys):
+    assert main(["--xml", xml_file, "--repeat", "2", "--warm", "count(//item)"]) == 0
+    out = capsys.readouterr().out
+    assert "warm runs" in out
+    run_lines = [line for line in out.splitlines() if "run " in line]
+    assert len(run_lines) == 2
+    # the warm second run reads no pages: the buffer kept the document
+    assert "pages=     0" in run_lines[1]
+
+
+def test_repeat_rejects_nonpositive(xml_file, capsys):
+    assert main(["--xml", xml_file, "--repeat", "0", "count(//item)"]) == 1
+    assert "--repeat" in capsys.readouterr().err
+
+
 def test_save_and_reopen_store(xml_file, tmp_path, capsys):
     store_path = str(tmp_path / "s.rpro")
     assert main(["--xml", xml_file, "--save", store_path, "count(//item)"]) == 0

@@ -97,6 +97,25 @@ def test_tiny_queue_still_correct():
         assert result.nodes == expected
 
 
+@pytest.mark.parametrize("seed", [0, 1])
+def test_run_batch_matches_sequential_execute(seed):
+    """Batched execution (shared scan + interleaving) agrees with the
+    reference on every path, query by query."""
+    db, tree = small_database(seed=seed)
+    outcome = db.run_batch(PATHS, doc="d")
+    assert len(outcome.results) == len(PATHS)
+    for query, result in zip(PATHS, outcome.results):
+        assert result.nodes == expected_for(db, tree, query), f"batch diverged on {query!r}"
+
+
+def test_run_batch_interleaved_matches_sequential_execute():
+    db, tree = small_database(seed=2)
+    outcome = db.run_batch([(q, "d", "xschedule") for q in PATHS[:8]])
+    assert outcome.interleaved == len(PATHS[:8])
+    for query, result in zip(PATHS[:8], outcome.results):
+        assert result.nodes == expected_for(db, tree, query), f"interleave diverged on {query!r}"
+
+
 def test_fragmented_layout_matches_clean_layout():
     db_clean = Database(page_size=512, buffer_pages=64)
     tree = make_random_tree(db_clean.tags, seed=8)

@@ -1,0 +1,43 @@
+"""Property: a session's aggregate Stats equal the merged per-run Stats.
+
+Sessions attribute per-run counters by snapshot/diff on the shared
+bundle (warm runs) or per-context bundles (cold runs); either way the
+sum of the parts must be the whole, for any workload and either runtime
+policy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import Stats
+
+from tests.conftest import small_database
+
+QUERIES = ["//a", "//b", "/root/a/b", "//c/d", "count(//a)", "count(//b)+count(//c)"]
+PLANS = ["auto", "simple", "xschedule", "xscan"]
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return [
+        (draw(st.sampled_from(QUERIES)), draw(st.sampled_from(PLANS)))
+        for _ in range(n)
+    ]
+
+
+@given(workload=workloads(), warm=st.booleans(), seed=st.integers(0, 20))
+@settings(max_examples=25, deadline=None)
+def test_session_stats_are_sum_of_per_run_stats(workload, warm, seed):
+    db, _ = small_database(seed=seed)
+    session = db.session(warm=warm)
+    merged = Stats()
+    total = cpu = 0.0
+    for query, plan in workload:
+        result = session.execute(query, doc="d", plan=plan)
+        merged.merge(result.stats)
+        total += result.total_time
+        cpu += result.cpu_time
+    assert session.stats.as_dict() == merged.as_dict()
+    assert abs(session.total_time - total) < 1e-9
+    assert abs(session.cpu_time - cpu) < 1e-9
