@@ -1,0 +1,77 @@
+"""Ablation: fault injection — hook overhead and recovery cost.
+
+Two claims:
+
+* with no fault plan installed the injection hook is free — the same
+  query on the same store produces byte-identical simulated timings, so
+  the paper figures (9-11) are unaffected by this layer;
+* under each shipped recoverable profile every answer is still correct,
+  and the recovery overhead (retries, backoff, re-serviced requests) is
+  billed honestly on the simulated clock.
+"""
+
+import pytest
+
+from repro import PROFILES, Database
+from harness import QUERY_BY_EXP, run_query
+
+SCALE = 0.25
+FAULTY = ("transient-errors", "latency-spikes", "lost-requests", "mixed")
+
+
+def _shared_store_db(base, profile_name=None):
+    faults = PROFILES[profile_name] if profile_name else None
+    return Database(
+        page_size=base.store.segment.page_size,
+        buffer_pages=base.buffer_pages,
+        store=base.store,
+        faults=faults,
+    )
+
+
+def test_fault_hook_is_free_when_disabled(benchmark, xmark_store, record_result):
+    """No fault plan installed => identical physics, to the last tick."""
+    base = xmark_store(SCALE)
+    vanilla = run_query(base, QUERY_BY_EXP["q6"], "xschedule")
+    hooked_db = _shared_store_db(base)  # same stack, faults path compiled in
+    hooked = benchmark.pedantic(
+        lambda: run_query(hooked_db, QUERY_BY_EXP["q6"], "xschedule"),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "ablation_faults",
+        profile="none",
+        total=hooked.total_time,
+        overhead=hooked.total_time / vanilla.total_time,
+        retries=0.0,
+        backoff=0.0,
+    )
+    assert hooked.value == vanilla.value
+    assert hooked.total_time == vanilla.total_time
+    assert hooked.stats.io_errors == 0
+    assert hooked.stats.timeouts == 0
+    assert hooked.stats.slow_services == 0
+
+
+@pytest.mark.parametrize("profile_name", FAULTY)
+def test_fault_recovery_cost(benchmark, xmark_store, record_result, profile_name):
+    base = xmark_store(SCALE)
+    baseline = run_query(base, QUERY_BY_EXP["q6"], "xschedule")
+    db = _shared_store_db(base, profile_name)
+    result = benchmark.pedantic(
+        lambda: run_query(db, QUERY_BY_EXP["q6"], "xschedule"),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "ablation_faults",
+        profile=profile_name,
+        total=result.total_time,
+        overhead=result.total_time / baseline.total_time,
+        retries=float(result.stats.retries),
+        backoff=result.stats.backoff_wait,
+    )
+    assert result.value == baseline.value  # degraded, never wrong
+    stats = result.stats
+    assert stats.io_errors + stats.timeouts + stats.slow_services > 0

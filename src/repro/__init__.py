@@ -24,16 +24,33 @@ from repro.axes import Axis
 from repro.engine import Database, Result
 from repro.exec import BatchOutcome, ExecutionEnvironment, QuerySession, run_batch
 from repro.errors import (
+    BudgetExceededError,
+    DiskProgressError,
+    IOError_,
+    PageReadError,
     PlanError,
     ReproError,
+    RequestLostError,
     StorageError,
     UnsupportedQueryError,
     XPathSyntaxError,
     XmlSyntaxError,
 )
-from repro.algebra.context import EvalOptions
+from repro.algebra.context import (
+    DegradationEvent,
+    DegradationReport,
+    EvalOptions,
+    ExecutionBudget,
+)
 from repro.sim.costmodel import CostModel
 from repro.sim.disk import DiskGeometry, SchedulingPolicy
+from repro.sim.faults import (
+    PROFILES,
+    FaultPlan,
+    FaultProfile,
+    RetryPolicy,
+    fault_profile,
+)
 from repro.storage.importer import ClusterPolicy, ImportOptions
 from repro.xpath.compile import PlanKind
 
@@ -48,6 +65,14 @@ __all__ = [
     "run_batch",
     "Axis",
     "EvalOptions",
+    "ExecutionBudget",
+    "DegradationEvent",
+    "DegradationReport",
+    "FaultProfile",
+    "FaultPlan",
+    "RetryPolicy",
+    "fault_profile",
+    "PROFILES",
     "CostModel",
     "DiskGeometry",
     "SchedulingPolicy",
@@ -60,5 +85,10 @@ __all__ = [
     "XPathSyntaxError",
     "UnsupportedQueryError",
     "PlanError",
+    "IOError_",
+    "PageReadError",
+    "RequestLostError",
+    "DiskProgressError",
+    "BudgetExceededError",
     "__version__",
 ]

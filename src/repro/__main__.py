@@ -13,7 +13,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import Database, EvalOptions, ImportOptions, ReproError
+from repro import (
+    Database,
+    EvalOptions,
+    ExecutionBudget,
+    ImportOptions,
+    ReproError,
+    fault_profile,
+)
 from repro.xmark import generate_xmark
 
 PLAN_CHOICES = ("auto", "simple", "xschedule", "xscan", "xscan-shared")
@@ -67,12 +74,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep one runtime (buffer, clock, disk head) alive across runs "
         "instead of running each one cold",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PROFILE[:SEED]",
+        default=None,
+        help="inject a fault workload into the simulated disk "
+        "(none, transient-errors, latency-spikes, lost-requests, mixed); "
+        "an optional :SEED reseeds the deterministic fault stream",
+    )
+    parser.add_argument(
+        "--budget",
+        metavar="SPEC",
+        default=None,
+        help="execution budget as comma-separated key=value pairs: "
+        "seconds=<float>, pages=<int>, retries=<int>, mode=raise|partial "
+        "(e.g. 'seconds=5,pages=2000,mode=partial')",
+    )
+    parser.add_argument(
+        "--latency-slo",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="completion-latency SLO; clusters whose reads exceed it are "
+        "sidelined and reported in the degradation summary",
+    )
     return parser
 
 
+def parse_budget(spec: str) -> ExecutionBudget:
+    """Parse a ``--budget`` spec like ``seconds=5,pages=2000,mode=partial``."""
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not value:
+            raise ReproError(f"bad budget entry {part!r} (expected key=value)")
+        try:
+            if key == "seconds":
+                kwargs["max_seconds"] = float(value)
+            elif key == "pages":
+                kwargs["max_pages"] = int(value)
+            elif key == "retries":
+                kwargs["max_retries"] = int(value)
+            elif key == "mode":
+                kwargs["on_exceeded"] = value
+            else:
+                raise ReproError(
+                    f"unknown budget key {key!r} "
+                    "(known: seconds, pages, retries, mode)"
+                )
+        except ValueError:
+            raise ReproError(f"bad budget value in {part!r}") from None
+    return ExecutionBudget(**kwargs)
+
+
+def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
+    kwargs: dict = {}
+    if args.budget:
+        kwargs["budget"] = parse_budget(args.budget)
+    if args.latency_slo is not None:
+        kwargs["latency_slo"] = args.latency_slo
+    return EvalOptions(**kwargs) if kwargs else None
+
+
 def load_database(args: argparse.Namespace) -> Database:
+    faults = fault_profile(args.faults) if args.faults else None
+    options = eval_options_from(args)
+    if faults is not None and faults.active:
+        print(f"fault profile: {faults.name} (seed {faults.seed})")
     if args.store:
-        db = Database.load(args.store, buffer_pages=args.buffer_pages)
+        db = Database.load(
+            args.store,
+            buffer_pages=args.buffer_pages,
+            eval_options=options,
+            faults=faults,
+        )
         name = next(iter(db.store.documents))
         if name != "doc":
             db.store.documents["doc"] = db.store.documents[name]
@@ -82,7 +161,12 @@ def load_database(args: argparse.Namespace) -> Database:
             f"({doc.n_border_pairs} border pairs)"
         )
         return db
-    db = Database(page_size=args.page_size, buffer_pages=args.buffer_pages)
+    db = Database(
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+        eval_options=options,
+        faults=faults,
+    )
     import_options = ImportOptions(
         page_size=args.page_size, fragmentation=args.fragmentation, seed=args.seed
     )
@@ -113,6 +197,20 @@ def print_result(db: Database, plan: str, result, show_nodes: int) -> None:
         f"cpu={result.cpu_time:8.4f}s ({result.cpu_fraction * 100:4.1f}%) "
         f"pages={result.stats.pages_read:6d} seeks={result.stats.seeks:5d}"
     )
+    stats = result.stats
+    if stats.io_errors or stats.timeouts or stats.slow_services:
+        print(
+            f"      faults survived: errors={stats.io_errors} "
+            f"timeouts={stats.timeouts} spikes={stats.slow_services} "
+            f"retries={stats.retries} backoff={stats.backoff_wait:.4f}s"
+        )
+    if result.degraded:
+        report = result.degradation
+        flag = " — PARTIAL RESULT" if report.partial else ""
+        print(
+            f"      degraded: {', '.join(report.reasons)} "
+            f"({len(report.events)} events){flag}"
+        )
     if result.nodes is not None and show_nodes:
         for nid in result.nodes[:show_nodes]:
             kind, tag, value = db.node_info(nid)

@@ -2,14 +2,102 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.errors import BudgetExceededError, PlanError
 from repro.sim.clock import SimClock
 from repro.sim.costmodel import CostModel
+from repro.sim.faults import RetryPolicy
 from repro.sim.iosys import AsyncIOSystem
 from repro.sim.stats import Stats
 from repro.storage.buffer import BufferManager, Frame
 from repro.storage.page import Segment
+
+
+@dataclass(frozen=True)
+class ExecutionBudget:
+    """Hard limits on what one query execution may consume.
+
+    Enforced in the operator ``next()`` loops (via
+    :meth:`EvalContext.charge_call`), so a runaway query is stopped
+    between result tuples, never mid-I/O.
+
+    Attributes
+    ----------
+    max_seconds:
+        Maximum simulated wall-clock seconds for the run.
+    max_pages:
+        Maximum pages read (physical service attempts) by the run.
+    max_retries:
+        Maximum fault-recovery retries the run may consume.
+    on_exceeded:
+        ``"raise"`` surfaces :class:`~repro.errors.BudgetExceededError`;
+        ``"partial"`` stops the drain and returns the results produced so
+        far, flagged in the result's :class:`DegradationReport`.
+    """
+
+    max_seconds: float | None = None
+    max_pages: int | None = None
+    max_retries: int | None = None
+    on_exceeded: str = "raise"
+
+    def __post_init__(self) -> None:
+        for name in ("max_seconds", "max_pages", "max_retries"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise PlanError(f"budget {name} must be positive, got {value}")
+        if self.on_exceeded not in ("raise", "partial"):
+            raise PlanError(
+                f"budget on_exceeded must be 'raise' or 'partial', "
+                f"got {self.on_exceeded!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.max_seconds is not None
+            or self.max_pages is not None
+            or self.max_retries is not None
+        )
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded degradation decision (why, where, when)."""
+
+    reason: str  #: e.g. "memory-limit", "dead-page", "latency-slo", "budget"
+    sim_time: float  #: simulated time of the event
+    page: int | None = None  #: cluster involved, if any
+    detail: str = ""  #: human-readable specifics
+
+
+@dataclass
+class DegradationReport:
+    """Structured account of every degradation during one execution.
+
+    Carried on :class:`repro.engine.Result` (``result.degradation``) and
+    aggregated by :class:`repro.exec.session.QuerySession`.  An execution
+    with an empty report ran at full fidelity.
+    """
+
+    events: list[DegradationEvent] = field(default_factory=list)
+    partial: bool = False  #: True when a budget truncated the result
+
+    @property
+    def reasons(self) -> list[str]:
+        """Distinct degradation reasons, in first-occurrence order."""
+        seen: list[str] = []
+        for event in self.events:
+            if event.reason not in seen:
+                seen.append(event.reason)
+        return seen
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or self.partial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", partial" if self.partial else ""
+        return f"DegradationReport({self.reasons}{flag}, {len(self.events)} events)"
 
 
 @dataclass(frozen=True)
@@ -42,6 +130,21 @@ class EvalOptions:
         Logical rewrite ``descendant-or-self::node()/child::X`` =>
         ``descendant::X`` applied by the compiler (orthogonal logical
         optimisation, Sec. 2).
+    retry:
+        How the I/O subsystem recovers from injected faults
+        (:class:`~repro.sim.faults.RetryPolicy`): retry cap, exponential
+        backoff, lost-request deadline.
+    latency_slo:
+        Completion-latency service-level objective in simulated seconds.
+        A cluster whose read blows the SLO is *sidelined* by XSchedule
+        (processed after well-behaved clusters, recorded in the
+        degradation report).  ``None`` disables the check.
+    budget:
+        Optional :class:`ExecutionBudget` enforced during execution.
+
+    Options are validated at construction; a bad combination raises
+    :class:`~repro.errors.PlanError` here instead of failing deep inside
+    an operator.
     """
 
     k_min_queue: int = 100
@@ -50,6 +153,28 @@ class EvalOptions:
     descendant_root_opt: bool = True
     scan_readahead: int = 0
     rewrite_descendant: bool = True
+    retry: RetryPolicy = RetryPolicy()
+    latency_slo: float | None = None
+    budget: ExecutionBudget | None = None
+
+    def __post_init__(self) -> None:
+        if self.k_min_queue < 1:
+            raise PlanError(
+                f"k_min_queue must be >= 1, got {self.k_min_queue} "
+                "(XSchedule needs at least one queue slot)"
+            )
+        if self.memory_limit is not None and self.memory_limit < 0:
+            raise PlanError(
+                f"memory_limit must be non-negative or None, got {self.memory_limit}"
+            )
+        if self.scan_readahead < 0:
+            raise PlanError(
+                f"scan_readahead must be non-negative, got {self.scan_readahead}"
+            )
+        if self.latency_slo is not None and self.latency_slo <= 0:
+            raise PlanError(
+                f"latency_slo must be positive or None, got {self.latency_slo}"
+            )
 
 
 class EvalContext:
@@ -82,6 +207,18 @@ class EvalContext:
         #: Set when XAssembly's memory limit trips (Sec. 5.4.6); operators
         #: poll it and degrade to the Simple method's behaviour.
         self.fallback = False
+        #: Why execution degraded, in order of occurrence.  Shared
+        #: contexts (warm sessions) accumulate; per-run slices are taken
+        #: via :meth:`report_since`.
+        self.degradation_events: list[DegradationEvent] = []
+        #: callbacks invoked when :meth:`trip_fallback` fires (XAssembly
+        #: registers its S-discard here while open)
+        self.fallback_hooks: list = []
+        self._budget: ExecutionBudget | None = None
+        self._budget_error: BudgetExceededError | None = None
+        self._budget_t0 = 0.0
+        self._budget_pages0 = 0
+        self._budget_retries0 = 0
 
     # ------------------------------------------------------- cost charging
 
@@ -109,8 +246,105 @@ class EvalContext:
         self.clock.work(self.costs.queue_op)
 
     def charge_call(self) -> None:
-        """One inter-operator ``next()`` call."""
+        """One inter-operator ``next()`` call.
+
+        Also the budget enforcement point: every operator crossing runs
+        through here, so a tripped budget stops the plan between result
+        tuples.  The check is a single ``is None`` test when no budget is
+        armed — zero overhead for ordinary runs.
+        """
         self.clock.work(self.costs.iterator_call)
+        if self._budget is not None:
+            self.check_budget()
+
+    # ------------------------------------------------------------- budgets
+
+    def arm_budget(self, budget: ExecutionBudget | None) -> bool:
+        """Start enforcing ``budget`` from the current clock/stats state.
+
+        Returns True if this call armed it (the caller then owns the
+        matching :meth:`disarm_budget`); idempotent while armed so nested
+        executions (unions, shared scans) keep the outermost baseline.
+        """
+        if budget is None or not budget.active or self._budget is not None:
+            return False
+        self._budget = budget
+        self._budget_error = None
+        self._budget_t0 = self.clock.now
+        self._budget_pages0 = self.stats.pages_read
+        self._budget_retries0 = self.stats.retries
+        return True
+
+    def disarm_budget(self) -> None:
+        self._budget = None
+        self._budget_error = None
+
+    def check_budget(self) -> None:
+        """Raise :class:`~repro.errors.BudgetExceededError` on a blown limit."""
+        budget = self._budget
+        if budget is None:
+            return
+        if self._budget_error is not None:
+            # already blown: later drains of the same execution (e.g. the
+            # remaining branches of a union) stop immediately as well
+            raise self._budget_error
+        spent_s = self.clock.now - self._budget_t0
+        if budget.max_seconds is not None and spent_s > budget.max_seconds:
+            self._budget_blown("seconds", budget.max_seconds, spent_s, budget)
+        spent_pages = self.stats.pages_read - self._budget_pages0
+        if budget.max_pages is not None and spent_pages > budget.max_pages:
+            self._budget_blown("pages", budget.max_pages, spent_pages, budget)
+        spent_retries = self.stats.retries - self._budget_retries0
+        if budget.max_retries is not None and spent_retries > budget.max_retries:
+            self._budget_blown("retries", budget.max_retries, spent_retries, budget)
+
+    def _budget_blown(
+        self, dimension: str, limit: float, spent: float, budget: ExecutionBudget
+    ) -> None:
+        partial = budget.on_exceeded == "partial"
+        self.note_degradation(
+            "budget", detail=f"{dimension} limit {limit:g} reached (spent {spent:g})"
+        )
+        # the budget stays armed but short-circuits to this error from now
+        # on, so nested drains cannot re-arm a fresh one mid-query
+        self._budget_error = BudgetExceededError(dimension, limit, spent, partial)
+        raise self._budget_error
+
+    # --------------------------------------------------------- degradation
+
+    def note_degradation(
+        self, reason: str, page: int | None = None, detail: str = ""
+    ) -> None:
+        """Record why execution deviated from the full-fidelity plan."""
+        self.degradation_events.append(
+            DegradationEvent(reason=reason, sim_time=self.clock.now, page=page, detail=detail)
+        )
+
+    def report_since(self, start_index: int, partial: bool = False) -> DegradationReport | None:
+        """Degradation report for events recorded after ``start_index``.
+
+        Returns None for a clean (non-degraded, non-partial) run so
+        results stay cheap to inspect.
+        """
+        events = self.degradation_events[start_index:]
+        if not events and not partial:
+            return None
+        return DegradationReport(events=list(events), partial=partial)
+
+    def trip_fallback(self, reason: str, page: int | None = None, detail: str = "") -> None:
+        """Degrade the plan to the Simple method's behaviour (Sec. 5.4.6).
+
+        Sets the fallback flag that XStep/XScan poll, records the cause,
+        and runs the registered hooks (XAssembly discards S and revives
+        XSchedule's parked entries).  Idempotent.
+        """
+        if self.fallback:
+            return
+        self.fallback = True
+        self.stats.fallbacks += 1
+        self.note_degradation(reason, page=page, detail=detail or "fell back to Simple-method evaluation")
+        for hook in list(self.fallback_hooks):
+            hook()
 
     # -------------------------------------------------------- current frame
 

@@ -7,6 +7,7 @@ from typing import Iterator, Sequence
 from repro.algebra.base import Operator
 from repro.algebra.context import EvalContext
 from repro.algebra.pathinstance import PathInstance
+from repro.errors import BudgetExceededError
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.record import CoreRecord
 
@@ -69,16 +70,26 @@ class DuplicateElimination(Operator):
 
 
 def result_nodeids(top: Operator) -> list[NodeID]:
-    """Drain a path-instance operator into its result NodeIDs."""
+    """Drain a path-instance operator into its result NodeIDs.
+
+    Under an execution budget with ``on_exceeded="partial"`` the results
+    accumulated so far are returned when the budget trips; in ``"raise"``
+    mode the :class:`~repro.errors.BudgetExceededError` propagates.
+    """
     top.open()
     try:
         out: list[NodeID] = []
-        while True:
-            instance = top.next()
-            if instance is None:
-                return out
-            assert instance.page_no is not None
-            out.append(make_nodeid(instance.page_no, instance.slot))
+        try:
+            while True:
+                instance = top.next()
+                if instance is None:
+                    return out
+                assert instance.page_no is not None
+                out.append(make_nodeid(instance.page_no, instance.slot))
+        except BudgetExceededError as exc:
+            if not exc.partial:
+                raise
+            return out
     finally:
         top.close()
 
@@ -108,15 +119,24 @@ def order_results(ctx: EvalContext, nids: list[NodeID]) -> list[NodeID]:
 
 
 def count_results(top: Operator, ctx: EvalContext) -> int:
-    """Drain a path-instance operator and count results (``count()``)."""
+    """Drain a path-instance operator and count results (``count()``).
+
+    Budget semantics match :func:`result_nodeids`: a ``"partial"`` budget
+    returns the count accumulated so far.
+    """
     top.open()
     try:
         count = 0
-        while True:
-            instance = top.next()
-            if instance is None:
-                return count
-            ctx.charge_set_op()
-            count += 1
+        try:
+            while True:
+                instance = top.next()
+                if instance is None:
+                    return count
+                ctx.charge_set_op()
+                count += 1
+        except BudgetExceededError as exc:
+            if not exc.partial:
+                raise
+            return count
     finally:
         top.close()

@@ -25,7 +25,7 @@ from repro.algebra.misc import ContextScan
 from repro.algebra.pathinstance import PathInstance
 from repro.algebra.xassembly import XAssembly
 from repro.algebra.xstep import XStep
-from repro.errors import PlanError
+from repro.errors import BudgetExceededError, PlanError
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.store import StoredDocument
@@ -89,46 +89,52 @@ def shared_scan(
     root = document.root
     context_cluster = page_of(root)
 
-    for page_no in document.page_nos:
-        if not ctx.buffer.is_resident(page_no):
-            pass  # synchronous sequential read below (O_DIRECT semantics)
-        frame = ctx.buffer.try_fix_resident(page_no)
-        if frame is None:
-            frame = ctx.buffer.fix(page_no)
-        ctx.set_current_frame(frame)
-        ctx.stats.clusters_visited += 1
-        page = frame.page
-        for state in states:
-            batch: list[PathInstance] = []
-            if page_no == context_cluster:
-                ctx.charge_instance()
-                batch.append(
-                    PathInstance(
-                        s_l=0,
-                        n_l=root,
-                        left_open=False,
-                        s_r=0,
-                        slot=slot_of(root),
-                        is_border=False,
-                        page_no=page_no,
-                    )
-                )
-            for step_index, step in enumerate(state.steps):
-                for border_slot in speculative_entries(page, step.axis):
+    try:
+        for page_no in document.page_nos:
+            if not ctx.buffer.is_resident(page_no):
+                pass  # synchronous sequential read below (O_DIRECT semantics)
+            frame = ctx.buffer.try_fix_resident(page_no)
+            if frame is None:
+                frame = ctx.buffer.fix(page_no)
+            ctx.set_current_frame(frame)
+            ctx.stats.clusters_visited += 1
+            page = frame.page
+            for state in states:
+                batch: list[PathInstance] = []
+                if page_no == context_cluster:
                     ctx.charge_instance()
-                    ctx.stats.speculative_instances += 1
                     batch.append(
                         PathInstance(
-                            s_l=step_index,
-                            n_l=make_nodeid(page_no, border_slot),
-                            left_open=True,
-                            s_r=step_index,
-                            slot=border_slot,
-                            is_border=True,
-                            resumed=True,
+                            s_l=0,
+                            n_l=root,
+                            left_open=False,
+                            s_r=0,
+                            slot=slot_of(root),
+                            is_border=False,
                             page_no=page_no,
                         )
                     )
-            state.feed(ctx, batch)
+                for step_index, step in enumerate(state.steps):
+                    for border_slot in speculative_entries(page, step.axis):
+                        ctx.charge_instance()
+                        ctx.stats.speculative_instances += 1
+                        batch.append(
+                            PathInstance(
+                                s_l=step_index,
+                                n_l=make_nodeid(page_no, border_slot),
+                                left_open=True,
+                                s_r=step_index,
+                                slot=border_slot,
+                                is_border=True,
+                                resumed=True,
+                                page_no=page_no,
+                            )
+                        )
+                state.feed(ctx, batch)
+    except BudgetExceededError as exc:
+        # a "partial" budget stops the scan; each path keeps what it has
+        if not exc.partial:
+            ctx.release()
+            raise
     ctx.release()
     return [state.results for state in states]

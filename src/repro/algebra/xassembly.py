@@ -80,10 +80,17 @@ class XAssembly(Operator):
 
     def open(self) -> None:
         self.producer.open()
+        # lower operators (XSchedule giving up on a dead page) trip
+        # fallback through the context; this hook discards S for them
+        self.ctx.fallback_hooks.append(self._on_fallback_trip)
         super().open()
 
     def close(self) -> None:
         super().close()
+        try:
+            self.ctx.fallback_hooks.remove(self._on_fallback_trip)
+        except ValueError:
+            pass
         self.producer.close()
 
     # ------------------------------------------------------------ R helpers
@@ -220,9 +227,14 @@ class XAssembly(Operator):
 
     def _enter_fallback(self) -> None:
         """Memory limit exceeded: revert to the Simple method (Sec. 5.4.6)."""
-        ctx = self.ctx
-        ctx.fallback = True
-        ctx.stats.fallbacks += 1
+        self.ctx.trip_fallback(
+            "memory-limit",
+            detail=f"|S|={self._s_size} exceeded memory_limit="
+            f"{self.ctx.options.memory_limit}",
+        )
+
+    def _on_fallback_trip(self) -> None:
+        """Context hook: discard S, keep R as the duplicate filter."""
         self._s.clear()
         self._s_size = 0
         self._ready.clear()

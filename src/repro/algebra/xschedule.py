@@ -32,6 +32,7 @@ from repro.algebra.base import Operator
 from repro.algebra.context import EvalContext
 from repro.algebra.pathinstance import PathInstance
 from repro.algebra.steps import CompiledStep
+from repro.errors import IOError_
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 
@@ -61,6 +62,11 @@ class _QEntry:
 class XSchedule(Operator):
     """The I/O-performing operator based on asynchronous I/O."""
 
+    #: synchronous recovery rounds per cluster (each round is a full retry
+    #: chain inside ``read_sync``) before the error is surfaced — results
+    #: are never silently dropped
+    MAX_DEAD_TRIES = 2
+
     def __init__(
         self,
         ctx: EvalContext,
@@ -81,6 +87,10 @@ class XSchedule(Operator):
         self._visited: set[int] = set()
         self._parked: list[_QEntry] = []
         self._current: int | None = None
+        #: clusters deprioritised after an SLO violation or I/O error;
+        #: they are drained last, so one sick region cannot stall the rest
+        self._sidelined: set[int] = set()
+        self._dead_tries: dict[int, int] = {}
 
     def open(self) -> None:
         self.producer.open()
@@ -164,7 +174,11 @@ class XSchedule(Operator):
             if frame is None:
                 # evicted (or never loaded) since scheduling: pay a
                 # synchronous read
-                frame = ctx.buffer.fix(cluster)
+                try:
+                    frame = ctx.buffer.fix(cluster)
+                except IOError_ as exc:
+                    self._on_unreadable(cluster, entry, exc)
+                    continue
             ctx.set_current_frame(frame)
             if cluster != self._current:
                 ctx.stats.clusters_visited += 1
@@ -188,22 +202,102 @@ class XSchedule(Operator):
             )
 
     def _pick_cluster(self) -> int:
-        """Next cluster to process: prefer buffered, else await I/O."""
+        """Next cluster to process: prefer buffered, else await I/O.
+
+        Sidelined clusters are only chosen when nothing healthy is
+        available — they still produce all their results, just last.
+        """
         ctx = self.ctx
+        sidelined_choice: int | None = None
         for cluster in self._q:
             if ctx.buffer.is_resident(cluster):
-                return cluster
+                if cluster not in self._sidelined:
+                    return cluster
+                if sidelined_choice is None:
+                    sidelined_choice = cluster
         while True:
-            page = ctx.iosys.get_completion()
+            try:
+                page = ctx.iosys.get_completion()
+            except IOError_ as exc:
+                self._on_dead_page(exc)
+                if sidelined_choice is not None:
+                    return sidelined_choice
+                continue
             if page is None:
                 # nothing in flight (entries whose pages were resident at
                 # enqueue time but have been evicted): fall back to any
+                if sidelined_choice is not None:
+                    return sidelined_choice
                 return next(iter(self._q))
             ctx.buffer.admit_completed(page)
+            self._check_slo(page)
             if page in self._q:
-                return page
+                if page not in self._sidelined:
+                    return page
+                # freshly sidelined: keep draining healthy clusters first
+                if sidelined_choice is None:
+                    sidelined_choice = page
             # completion for a cluster whose entries were already consumed
             # via buffer residency; keep the frame and wait on
+
+    # ------------------------------------------------------- fault handling
+
+    def _check_slo(self, page: int) -> None:
+        """Sideline a cluster whose completion blew the latency SLO."""
+        ctx = self.ctx
+        slo = ctx.options.latency_slo
+        if slo is None or ctx.iosys.last_latency <= slo:
+            return
+        ctx.stats.slo_violations += 1
+        if page not in self._sidelined:
+            self._sidelined.add(page)
+            ctx.stats.sidelined_clusters += 1
+            ctx.note_degradation(
+                "latency-slo",
+                page=page,
+                detail=(
+                    f"completion latency {ctx.iosys.last_latency:.6f}s "
+                    f"exceeded SLO {slo:g}s"
+                ),
+            )
+
+    def _on_dead_page(self, exc: IOError_) -> None:
+        """An async read exhausted its retries: degrade, don't crash.
+
+        The cluster's Q entries stay queued; they will be retried through
+        the synchronous path (with its own bounded recovery rounds) when
+        the cluster is eventually drained.
+        """
+        ctx = self.ctx
+        page = getattr(exc, "page", None)
+        if page is not None and page not in self._sidelined:
+            self._sidelined.add(page)
+            ctx.stats.sidelined_clusters += 1
+        if ctx.fallback:
+            ctx.note_degradation("dead-page", page=page, detail=str(exc))
+        else:
+            ctx.trip_fallback("dead-page", page=page, detail=str(exc))
+
+    def _on_unreadable(self, cluster: int, entry: _QEntry, exc: IOError_) -> None:
+        """A synchronous cluster read failed even after retries."""
+        ctx = self.ctx
+        tries = self._dead_tries.get(cluster, 0) + 1
+        self._dead_tries[cluster] = tries
+        if tries > self.MAX_DEAD_TRIES:
+            # out of recovery options: surfacing the typed error beats
+            # silently returning a result set with holes in it
+            ctx.note_degradation(
+                "data-loss",
+                page=cluster,
+                detail=f"cluster unreadable after {tries} recovery rounds",
+            )
+            raise exc
+        if ctx.fallback:
+            ctx.note_degradation("dead-page", page=cluster, detail=str(exc))
+        else:
+            ctx.trip_fallback("dead-page", page=cluster, detail=str(exc))
+        self._current = None
+        self._enqueue(entry)
 
     def _speculate(self, page) -> Iterator[PathInstance]:
         """Left-incomplete instances for every entry border of ``page``."""

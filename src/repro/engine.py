@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.algebra.context import EvalContext, EvalOptions
+from repro.algebra.context import DegradationReport, EvalContext, EvalOptions
 from repro.errors import ReproError
 from repro.exec.environment import ExecutionEnvironment
+from repro.sim.faults import FaultProfile
 from repro.model.builder import TreeBuilder
 from repro.model.tree import Kind, LogicalTree
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
@@ -54,6 +55,19 @@ class Result:
     #: shared counter bundle, so ``stats.io_requests / shared_io_queries``
     #: is the amortized per-query attribution.
     shared_io_queries: int = 1
+    #: why (and how) this execution degraded — fallback trips, sidelined
+    #: clusters, budget cuts.  ``None`` for a full-fidelity run.
+    degradation: DegradationReport | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when execution deviated from the full-fidelity plan."""
+        return bool(self.degradation)
+
+    @property
+    def partial(self) -> bool:
+        """True when an execution budget truncated the result set."""
+        return self.degradation is not None and self.degradation.partial
 
     @classmethod
     def from_context(
@@ -67,6 +81,7 @@ class Result:
         nodes: list[NodeID] | None = None,
         stats: Stats | None = None,
         shared_io_queries: int = 1,
+        degradation: DegradationReport | None = None,
     ) -> "Result":
         """Bundle the timing since ``mark`` and ``ctx``'s counters.
 
@@ -85,6 +100,7 @@ class Result:
             io_wait=io_wait,
             stats=ctx.stats if stats is None else stats,
             shared_io_queries=shared_io_queries,
+            degradation=degradation,
         )
 
     @property
@@ -118,6 +134,7 @@ class Database:
         costs: CostModel | None = None,
         eval_options: EvalOptions | None = None,
         store: DocumentStore | None = None,
+        faults: FaultProfile | None = None,
     ) -> None:
         if store is not None and store.segment.page_size != page_size:
             raise ReproError("store page size must match the database page size")
@@ -134,6 +151,7 @@ class Database:
             costs=self.costs,
             buffer_pages=buffer_pages,
             options=self.eval_options,
+            faults=faults,
         )
         self.geometry = self.env.geometry
 
@@ -211,8 +229,14 @@ class Database:
         """
         compiled = self.prepare(query, doc, plan, options)
         ctx = context or self.env.fresh_context(options)
+        events_mark = len(ctx.degradation_events)
         mark = ctx.clock.checkpoint()
         value, nodes = compiled.execute(ctx)
+        # a "partial" budget records its cut as a degradation event and
+        # returns normally; a "raise" budget propagates out of execute()
+        partial = any(
+            e.reason == "budget" for e in ctx.degradation_events[events_mark:]
+        )
         return Result.from_context(
             ctx,
             mark,
@@ -221,6 +245,7 @@ class Database:
             plan_kinds=compiled.plan_kinds,
             value=value,
             nodes=nodes,
+            degradation=ctx.report_since(events_mark, partial=partial),
         )
 
     def session(
@@ -274,6 +299,7 @@ class Database:
         costs: CostModel | None = None,
         eval_options: EvalOptions | None = None,
         collect_statistics: bool = True,
+        faults: FaultProfile | None = None,
     ) -> "Database":
         """Open a database from a file written by :meth:`save`.
 
@@ -292,6 +318,7 @@ class Database:
             costs=costs,
             eval_options=eval_options,
             store=store,
+            faults=faults,
         )
         if collect_statistics:
             for doc in store.documents.values():

@@ -45,3 +45,69 @@ class UnsupportedQueryError(ReproError):
 
 class PlanError(ReproError):
     """A physical plan was mis-assembled or used out of protocol."""
+
+
+class IOError_(ReproError):
+    """The simulated I/O stack could not complete a request.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IOError` (an alias of :class:`OSError`).
+    """
+
+
+class PageReadError(IOError_):
+    """A page read kept failing past the retry cap."""
+
+    def __init__(self, page: int, attempts: int, sim_time: float) -> None:
+        super().__init__(
+            f"read of page {page} failed after {attempts} attempts "
+            f"(at simulated t={sim_time:.6f}s)"
+        )
+        self.page = page
+        self.attempts = attempts
+        self.sim_time = sim_time
+
+
+class RequestLostError(IOError_):
+    """A request's completion never arrived despite resubmissions."""
+
+    def __init__(self, page: int, attempts: int, sim_time: float) -> None:
+        super().__init__(
+            f"request for page {page} lost {attempts} times without an answer "
+            f"(at simulated t={sim_time:.6f}s)"
+        )
+        self.page = page
+        self.attempts = attempts
+        self.sim_time = sim_time
+
+
+class DiskProgressError(IOError_):
+    """The disk simulation could not advance (an internal invariant broke)."""
+
+    def __init__(self, message: str, pending_pages: tuple[int, ...], sim_time: float) -> None:
+        super().__init__(
+            f"{message} (pending pages {list(pending_pages)}, "
+            f"at simulated t={sim_time:.6f}s)"
+        )
+        self.pending_pages = pending_pages
+        self.sim_time = sim_time
+
+
+class BudgetExceededError(ReproError):
+    """An execution budget limit was reached mid-query.
+
+    ``partial`` tells drain loops whether the budget asked for a partial
+    result (``on_exceeded="partial"``) instead of an error.
+    """
+
+    def __init__(
+        self, dimension: str, limit: float, spent: float, partial: bool
+    ) -> None:
+        super().__init__(
+            f"execution budget exceeded: {dimension} limit {limit:g} "
+            f"reached (spent {spent:g})"
+        )
+        self.dimension = dimension
+        self.limit = limit
+        self.spent = spent
+        self.partial = partial

@@ -130,13 +130,18 @@ def run_batch(
     shared = session.context(session.options)
     mark = shared.clock.checkpoint()
     before = shared.stats.snapshot()
-    #: per request: (value, nodes, clock checkpoint at completion)
+    #: per request: (value, nodes, clock checkpoint, degradation report)
     outcomes: list[tuple | None] = [None] * len(reqs)
+
+    def _report(view):
+        partial = any(e.reason == "budget" for e in view.degradation_events)
+        return view.report_since(0, partial=partial)
 
     # ---- phase 1: one sequential scan per document feeds all its paths
     for doc_key in scan_groups:
         members = sorted(scan_groups[doc_key])
         view = session.env.view(shared, session.options)
+        armed = view.arm_budget(view.options.budget)
         plans: list = []
         seen: set[int] = set()
         for index in members:
@@ -144,11 +149,20 @@ def run_batch(
                 if id(path_plan) not in seen:  # duplicate queries share one entry
                     seen.add(id(path_plan))
                     plans.append(path_plan)
-        result_sets = shared_scan(view, plans[0].document, plans)
-        by_plan = {id(p): nids for p, nids in zip(plans, result_sets)}
-        for index in members:
-            value, nodes = compiled[index].resolve_with_results(view, by_plan)
-            outcomes[index] = (value, nodes, shared.clock.checkpoint())
+        try:
+            result_sets = shared_scan(view, plans[0].document, plans)
+            by_plan = {id(p): nids for p, nids in zip(plans, result_sets)}
+            for index in members:
+                value, nodes = compiled[index].resolve_with_results(view, by_plan)
+                outcomes[index] = (
+                    value,
+                    nodes,
+                    shared.clock.checkpoint(),
+                    _report(view),
+                )
+        finally:
+            if armed:
+                view.disarm_budget()
 
     # ---- phase 2: the rest interleave over the shared disk queue
     if queue_members:
@@ -156,15 +170,17 @@ def run_batch(
             (compiled[index], session.env.view(shared, session.options))
             for index in queue_members
         ]
-        for index, outcome in zip(queue_members, interleave(jobs)):
-            outcomes[index] = outcome
+        for index, (_, view), outcome in zip(
+            queue_members, jobs, interleave(jobs)
+        ):
+            outcomes[index] = outcome + (_report(view),)
 
     # ---- per-query results with shared-I/O attribution
     batch_stats = shared.stats.diff(before)
     total, cpu, io_wait = shared.clock.since(mark)
     results: list[Result] = []
     for (query, rdoc, _), cq, outcome in zip(reqs, compiled, outcomes):
-        value, nodes, checkpoint = outcome
+        value, nodes, checkpoint, degradation = outcome
         results.append(
             Result(
                 query=query,
@@ -177,6 +193,7 @@ def run_batch(
                 io_wait=checkpoint[2] - mark[2],
                 stats=batch_stats,
                 shared_io_queries=len(reqs),
+                degradation=degradation,
             )
         )
     scan_count = sum(len(members) for members in scan_groups.values())

@@ -31,6 +31,7 @@ from repro.model.tags import TagDictionary
 from repro.sim.clock import SimClock
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.disk import DiskDevice, DiskGeometry, SchedulingPolicy
+from repro.sim.faults import FaultPlan, FaultProfile
 from repro.sim.iosys import AsyncIOSystem
 from repro.sim.stats import Stats
 from repro.storage.buffer import BufferManager
@@ -55,6 +56,7 @@ class ExecutionEnvironment:
         costs: CostModel | None = None,
         buffer_pages: int = 256,
         options: EvalOptions | None = None,
+        faults: FaultProfile | None = None,
     ) -> None:
         self.segment = segment
         self.tags = tags
@@ -65,6 +67,10 @@ class ExecutionEnvironment:
         self.costs = costs or DEFAULT_COST_MODEL
         self.buffer_pages = buffer_pages
         self.options = options or EvalOptions()
+        #: fault workload injected into every cold runtime's disk; each
+        #: :meth:`fresh_context` gets a *fresh* FaultPlan over it, so two
+        #: cold runs with the same profile replay identical faults
+        self.faults = faults if faults is not None and faults.active else None
         #: number of cold runtimes built (one per cold run / shared batch)
         self.contexts_built = 0
 
@@ -77,10 +83,12 @@ class ExecutionEnvironment:
 
     def fresh_context(self, options: EvalOptions | None = None) -> EvalContext:
         """A cold runtime: new clock, parked disk head, empty buffer."""
+        opts = options or self.options
         stats = Stats()
         clock = SimClock()
-        disk = DiskDevice(self.geometry, self.disk_policy, stats)
-        iosys = AsyncIOSystem(disk, clock, self.costs, stats)
+        plan = FaultPlan(self.faults) if self.faults is not None else None
+        disk = DiskDevice(self.geometry, self.disk_policy, stats, faults=plan)
+        iosys = AsyncIOSystem(disk, clock, self.costs, stats, retry=opts.retry)
         buffer = BufferManager(
             self.segment, iosys, clock, self.costs, self.buffer_pages, stats
         )
@@ -92,7 +100,7 @@ class ExecutionEnvironment:
             clock,
             self.costs,
             stats,
-            options or self.options,
+            opts,
             tags=self.tags,
         )
 

@@ -51,6 +51,7 @@ class QuerySession:
         self.compiles = 0
         #: aggregate accounting across every run of this session
         self.runs = 0
+        self.degraded_runs = 0
         self.stats = Stats()
         self.total_time = 0.0
         self.cpu_time = 0.0
@@ -125,9 +126,15 @@ class QuerySession:
         """Run ``query``; compiles at most once per distinct cache key."""
         compiled = self.prepare(query, doc, plan, options)
         ctx = self.context(options)
+        # warm contexts accumulate degradation events across runs; slice
+        # from here so this result only reports its own
+        events_mark = len(ctx.degradation_events)
         mark = ctx.clock.checkpoint()
         before = ctx.stats.snapshot()
         value, nodes = compiled.execute(ctx)
+        partial = any(
+            e.reason == "budget" for e in ctx.degradation_events[events_mark:]
+        )
         result = Result.from_context(
             ctx,
             mark,
@@ -137,6 +144,7 @@ class QuerySession:
             value=value,
             nodes=nodes,
             stats=ctx.stats.diff(before),
+            degradation=ctx.report_since(events_mark, partial=partial),
         )
         self._account(result)
         return result
@@ -156,6 +164,8 @@ class QuerySession:
 
     def _account(self, result: Result) -> None:
         self.runs += 1
+        if result.degraded:
+            self.degraded_runs += 1
         self.stats.merge(result.stats)
         self.total_time += result.total_time
         self.cpu_time += result.cpu_time
@@ -164,6 +174,7 @@ class QuerySession:
     def _account_batch(self, outcome) -> None:
         """Merge a batch's shared accounting once (not once per query)."""
         self.runs += len(outcome.results)
+        self.degraded_runs += sum(1 for r in outcome.results if r.degraded)
         self.stats.merge(outcome.stats)
         self.total_time += outcome.total_time
         self.cpu_time += outcome.cpu_time

@@ -26,6 +26,8 @@ import math
 from collections import deque
 from dataclasses import dataclass
 
+from repro.errors import DiskProgressError
+from repro.sim.faults import FaultPlan, Outcome
 from repro.sim.stats import Stats
 
 
@@ -72,7 +74,7 @@ class DiskGeometry:
 class Request:
     """One outstanding page-read request."""
 
-    __slots__ = ("page", "submit_time", "start_time", "done_time", "seq")
+    __slots__ = ("page", "submit_time", "start_time", "done_time", "seq", "outcome")
 
     def __init__(self, page: int, submit_time: float, seq: int) -> None:
         self.page = page
@@ -80,9 +82,18 @@ class Request:
         self.start_time: float | None = None
         self.done_time: float | None = None
         self.seq = seq
+        #: physical outcome, decided by the fault plan at service start
+        self.outcome: Outcome = Outcome.OK
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is Outcome.ERROR
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Request(page={self.page}, submit={self.submit_time:.6f}, done={self.done_time})"
+        return (
+            f"Request(page={self.page}, submit={self.submit_time:.6f}, "
+            f"done={self.done_time}, outcome={self.outcome.value})"
+        )
 
 
 class DiskDevice:
@@ -99,10 +110,13 @@ class DiskDevice:
         geometry: DiskGeometry | None = None,
         policy: SchedulingPolicy = SchedulingPolicy.SSTF,
         stats: Stats | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.geometry = geometry or DiskGeometry()
         self.policy = policy
         self.stats = stats if stats is not None else Stats()
+        #: fault plan consulted per service attempt; None = perfect disk
+        self.faults = faults
         #: page number the head is positioned at (page following the last read)
         self.head = 0
         self.busy_until = 0.0
@@ -162,8 +176,16 @@ class DiskDevice:
                 start = max(self.busy_until, min(r.submit_time for r in self._pending))
                 # force one service step at its start time
                 self._advance(start)
-                if self._in_flight is None and not self._completed:
-                    raise AssertionError("disk failed to make progress")
+                if (
+                    self._in_flight is None
+                    and not self._completed
+                    and self._pending
+                ):
+                    raise DiskProgressError(
+                        "disk failed to make progress",
+                        tuple(r.page for r in self._pending),
+                        start,
+                    )
             else:
                 return None
         return self._completed[0].done_time
@@ -176,7 +198,12 @@ class DiskDevice:
             if self._in_flight is not None:
                 assert self._in_flight.done_time is not None
                 if self._in_flight.done_time <= t:
-                    self._completed.append(self._in_flight)
+                    if self._in_flight.outcome is Outcome.LOST:
+                        # serviced, but the completion notification vanished:
+                        # the caller only finds out via its request timeout
+                        self.stats.lost_requests += 1
+                    else:
+                        self._completed.append(self._in_flight)
                     self._in_flight = None
                 else:
                     return
@@ -211,6 +238,12 @@ class DiskDevice:
             duration = geo.seek_time(distance) + rotational + geo.transfer_time
             self.stats.seeks += 1
             self.stats.seek_distance += distance
+        if self.faults is not None:
+            verdict = self.faults.service(req.page)
+            req.outcome = verdict.outcome
+            if verdict.slow_factor != 1.0:
+                duration *= verdict.slow_factor
+                self.stats.slow_services += 1
         req.start_time = start
         req.done_time = start + duration
         self.head = req.page + 1

@@ -30,6 +30,16 @@ class Stats:
     async_requests: int = 0
     sync_requests: int = 0
 
+    # fault injection and recovery (see repro.sim.faults)
+    io_errors: int = 0  #: failed service attempts delivered to the I/O system
+    retries: int = 0  #: resubmissions after an error or a timeout
+    timeouts: int = 0  #: requests declared lost after the deadline
+    lost_requests: int = 0  #: completions dropped by the fault plan
+    slow_services: int = 0  #: latency-spiked service attempts
+    backoff_wait: float = 0.0  #: simulated seconds of scheduled retry backoff
+    slo_violations: int = 0  #: completions that blew the latency SLO
+    sidelined_clusters: int = 0  #: clusters deprioritized after an SLO/IO event
+
     # buffer manager
     buffer_hits: int = 0
     buffer_misses: int = 0
@@ -70,7 +80,7 @@ class Stats:
             }
         )
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, float]:
         """Return a plain ``{name: value}`` dictionary of all counters."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 

@@ -200,23 +200,32 @@ class CompiledPathPlan:
         raise UnsupportedQueryError(f"unresolved plan kind {self.kind}")
 
     def run_count(self, ctx: EvalContext) -> int:
+        # idempotent: a no-op when CompiledQuery.execute armed it already
+        armed = ctx.arm_budget(ctx.options.budget)
         top = self.build(ctx)
         try:
             return count_results(top, ctx)
         finally:
+            if armed:
+                ctx.disarm_budget()
             ctx.release()
             ctx.fallback = False
 
     def run_nodes(self, ctx: EvalContext, ordered: bool = True) -> list[NodeID]:
-        top = self.build(ctx)
+        armed = ctx.arm_budget(ctx.options.budget)
         try:
-            nids = result_nodeids(top)
+            top = self.build(ctx)
+            try:
+                nids = result_nodeids(top)
+            finally:
+                ctx.release()
+                ctx.fallback = False
+            if ordered:
+                nids = order_results(ctx, nids)
+            return nids
         finally:
-            ctx.release()
-            ctx.fallback = False
-        if ordered:
-            nids = order_results(ctx, nids)
-        return nids
+            if armed:
+                ctx.disarm_budget()
 
 
 # ------------------------------------------------------------- query plans
@@ -232,16 +241,26 @@ class CompiledQuery:
     shared_scan: bool = False  #: evaluate all paths in one physical scan
 
     def execute(self, ctx: EvalContext) -> tuple[float | None, list[NodeID] | None]:
-        """Run the query; returns ``(value, nodes)`` (one of them None)."""
-        if self.shared_scan:
-            return self._execute_shared(ctx)
-        if isinstance(self.expr, CompiledPathPlan):
-            return None, self.expr.run_nodes(ctx, ordered=True)
-        if isinstance(self.expr, tuple) and self.expr[0] == "union":
-            from repro.algebra.misc import order_results
+        """Run the query; returns ``(value, nodes)`` (one of them None).
 
-            return None, order_results(ctx, self._union_nodes(self.expr, ctx))
-        return self._number(self.expr, ctx), None
+        Arms the execution budget from ``ctx.options`` for the whole
+        query, so multi-path expressions (unions, arithmetic) share one
+        allowance instead of getting a fresh one per path.
+        """
+        armed = ctx.arm_budget(ctx.options.budget)
+        try:
+            if self.shared_scan:
+                return self._execute_shared(ctx)
+            if isinstance(self.expr, CompiledPathPlan):
+                return None, self.expr.run_nodes(ctx, ordered=True)
+            if isinstance(self.expr, tuple) and self.expr[0] == "union":
+                from repro.algebra.misc import order_results
+
+                return None, order_results(ctx, self._union_nodes(self.expr, ctx))
+            return self._number(self.expr, ctx), None
+        finally:
+            if armed:
+                ctx.disarm_budget()
 
     def _union_nodes(self, node: tuple, ctx: EvalContext) -> list[NodeID]:
         """Node-set union with duplicate elimination (unordered)."""

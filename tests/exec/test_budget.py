@@ -1,0 +1,157 @@
+"""Tests for execution budgets and option validation."""
+
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    Database,
+    EvalOptions,
+    ExecutionBudget,
+    FaultProfile,
+    PlanError,
+)
+from tests.conftest import small_database
+
+
+# -------------------------------------------------------------- validation
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"k_min_queue": 0},
+        {"memory_limit": -1},
+        {"scan_readahead": -1},
+        {"latency_slo": 0.0},
+        {"latency_slo": -2.0},
+    ],
+)
+def test_eval_options_validate_at_construction(kwargs):
+    with pytest.raises(PlanError):
+        EvalOptions(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_pages": 0},
+        {"max_seconds": -1.0},
+        {"max_retries": 0},
+        {"max_pages": 10, "on_exceeded": "explode"},
+    ],
+)
+def test_budget_validates_at_construction(kwargs):
+    with pytest.raises(PlanError):
+        ExecutionBudget(**kwargs)
+
+
+def test_budget_active_flag():
+    assert not ExecutionBudget().active
+    assert ExecutionBudget(max_pages=1).active
+    assert ExecutionBudget(max_seconds=0.5).active
+
+
+# -------------------------------------------------------------- raise mode
+
+
+def test_page_budget_raises_by_default():
+    db, _ = small_database(seed=3)
+    options = EvalOptions(budget=ExecutionBudget(max_pages=2))
+    with pytest.raises(BudgetExceededError) as err:
+        db.execute("//a", doc="d", plan="simple", options=options)
+    assert err.value.dimension == "pages"
+    assert err.value.spent > err.value.limit >= 2
+    assert not err.value.partial
+
+
+def test_seconds_budget_raises():
+    db, _ = small_database(seed=3)
+    options = EvalOptions(budget=ExecutionBudget(max_seconds=1e-9))
+    with pytest.raises(BudgetExceededError) as err:
+        db.execute("//a", doc="d", plan="xschedule", options=options)
+    assert err.value.dimension == "seconds"
+
+
+def test_retry_budget_raises_under_faults():
+    profile = FaultProfile(name="stormy", seed=2, error_rate=0.9, error_burst=2)
+    db, _ = small_database(seed=3)
+    faulty = Database(page_size=512, buffer_pages=64, store=db.store, faults=profile)
+    options = EvalOptions(budget=ExecutionBudget(max_retries=1))
+    with pytest.raises(BudgetExceededError) as err:
+        faulty.execute("//a", doc="d", plan="simple", options=options)
+    assert err.value.dimension == "retries"
+
+
+# ------------------------------------------------------------- partial mode
+
+
+def test_partial_mode_returns_a_prefix():
+    db, _ = small_database(seed=3)
+    full = db.execute("//a", doc="d", plan="simple")
+    assert full.degradation is None and not full.partial
+    options = EvalOptions(
+        budget=ExecutionBudget(max_pages=2, on_exceeded="partial")
+    )
+    cut = db.execute("//a", doc="d", plan="simple", options=options)
+    assert cut.partial and cut.degraded
+    assert "budget" in cut.degradation.reasons
+    assert len(cut.nodes) < len(full.nodes)
+    assert set(cut.nodes) <= set(full.nodes)
+
+
+def test_partial_mode_count_query():
+    db, _ = small_database(seed=3)
+    full = db.execute("count(//a)", doc="d", plan="simple")
+    options = EvalOptions(
+        budget=ExecutionBudget(max_pages=2, on_exceeded="partial")
+    )
+    cut = db.execute("count(//a)", doc="d", plan="simple", options=options)
+    assert cut.partial
+    assert cut.value < full.value
+
+
+@pytest.mark.parametrize("plan", ["simple", "xschedule", "xscan"])
+def test_partial_mode_never_crashes_any_plan(plan):
+    db, _ = small_database(seed=3)
+    options = EvalOptions(
+        budget=ExecutionBudget(max_pages=1, on_exceeded="partial")
+    )
+    result = db.execute("//b//c", doc="d", plan=plan, options=options)
+    assert result.partial
+    assert result.nodes is not None
+
+
+def test_generous_budget_changes_nothing():
+    db, _ = small_database(seed=3)
+    baseline = db.execute("//a", doc="d", plan="xschedule")
+    options = EvalOptions(
+        budget=ExecutionBudget(max_pages=10**9, max_seconds=10**9, max_retries=10**9)
+    )
+    result = db.execute("//a", doc="d", plan="xschedule", options=options)
+    assert result.nodes == baseline.nodes
+    assert result.total_time == baseline.total_time
+    assert result.degradation is None
+
+
+# ---------------------------------------------------------------- sessions
+
+
+def test_warm_session_attributes_budget_events_per_run():
+    db, _ = small_database(seed=3)
+    options = EvalOptions(
+        budget=ExecutionBudget(max_pages=2, on_exceeded="partial")
+    )
+    session = db.session(warm=True, options=options)
+    first = session.execute("//a", doc="d", plan="simple")
+    second = session.execute("//b", doc="d", plan="simple")
+    assert first.partial and second.partial
+    # each result reports only its own run's events
+    assert first.degradation.events != second.degradation.events
+    assert session.degraded_runs == 2
+
+
+def test_session_counts_degraded_runs_only_when_degraded():
+    db, _ = small_database(seed=3)
+    session = db.session()
+    session.execute("//a", doc="d", plan="simple")
+    assert session.degraded_runs == 0

@@ -1,0 +1,81 @@
+"""Property: degraded, never wrong.
+
+For *any* plan, speculation setting, fault profile, fault seed and
+memory limit (including limits that force the XAssembly fallback), a
+query's answer equals the fault-free simple-plan answer.  Faults may
+change the run's cost and degradation report — never its result.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PROFILES, Database, EvalOptions, ImportOptions
+from tests.conftest import make_random_tree
+
+QUERIES = ("//a", "count(//b//c)", "/root/a/b")
+
+
+def _build_store():
+    db = Database(page_size=512, buffer_pages=48)
+    tree = make_random_tree(db.tags, seed=11)
+    db.add_tree(
+        tree, "d", ImportOptions(page_size=512, fragmentation=0.7, seed=11)
+    )
+    return db.store
+
+
+_STORE = _build_store()
+_BASELINE = {
+    query: (result.value, result.nodes)
+    for query in QUERIES
+    for result in [
+        Database(page_size=512, buffer_pages=48, store=_STORE).execute(
+            query, doc="d", plan="simple"
+        )
+    ]
+}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    plan=st.sampled_from(["simple", "xschedule", "xscan"]),
+    speculative=st.booleans(),
+    profile_name=st.sampled_from([n for n in PROFILES if n != "none"]),
+    seed=st.integers(min_value=0, max_value=50),
+    memory_limit=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+    query=st.sampled_from(QUERIES),
+)
+def test_faulty_run_equals_fault_free_simple(
+    plan, speculative, profile_name, seed, memory_limit, query
+):
+    profile = dataclasses.replace(PROFILES[profile_name], seed=seed)
+    options = EvalOptions(speculative=speculative, memory_limit=memory_limit)
+    db = Database(
+        page_size=512,
+        buffer_pages=48,
+        store=_STORE,
+        eval_options=options,
+        faults=profile,
+    )
+    result = db.execute(query, doc="d", plan=plan)
+    assert (result.value, result.nodes) == _BASELINE[query]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    plan=st.sampled_from(["simple", "xschedule", "xscan"]),
+    profile_name=st.sampled_from([n for n in PROFILES if n != "none"]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_faulty_run_is_deterministic(plan, profile_name, seed):
+    profile = dataclasses.replace(PROFILES[profile_name], seed=seed)
+    runs = []
+    for _ in range(2):
+        db = Database(page_size=512, buffer_pages=48, store=_STORE, faults=profile)
+        result = db.execute("//a", doc="d", plan=plan)
+        runs.append(
+            (result.value, result.nodes, result.total_time, result.stats.as_dict())
+        )
+    assert runs[0] == runs[1]
