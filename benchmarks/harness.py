@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro import Database, EvalOptions, ImportOptions, QuerySession
+from repro import Database, EvalOptions, ImportOptions, QuerySession, Tracer
 from repro.engine import Result
 from repro.xmark import PAPER_QUERIES, Q6_PRIME, Q7, Q15, generate_xmark
 
@@ -48,6 +48,33 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 
+#: one tracer shared by every database the sweep builds, created lazily
+#: when ``REPRO_BENCH_TRACE=<file>`` is set (empty/unset => no tracing,
+#: which keeps the published figures on the guaranteed zero-overhead path)
+_BENCH_TRACER: Tracer | None = None
+
+
+def bench_tracer() -> Tracer | None:
+    global _BENCH_TRACER
+    path = os.environ.get("REPRO_BENCH_TRACE")
+    if not path:
+        return None
+    if _BENCH_TRACER is None:
+        _BENCH_TRACER = Tracer()
+        import atexit
+
+        def _export() -> None:
+            assert _BENCH_TRACER is not None
+            if path.endswith(".jsonl"):
+                _BENCH_TRACER.export_jsonl(path)
+            else:
+                _BENCH_TRACER.export_chrome(path)
+            print(f"benchmark trace written to {path}", flush=True)
+
+        atexit.register(_export)
+    return _BENCH_TRACER
+
+
 def build_xmark_db(
     scale: float,
     buffer_pages: int = 256,
@@ -56,7 +83,9 @@ def build_xmark_db(
 ) -> Database:
     """Generate and import one XMark document; returns the database."""
     seed = bench_seed()
-    db = Database(page_size=page_size, buffer_pages=buffer_pages)
+    db = Database(
+        page_size=page_size, buffer_pages=buffer_pages, tracer=bench_tracer()
+    )
     tree = generate_xmark(scale=scale, tags=db.tags, seed=seed)
     db.add_tree(
         tree,

@@ -23,6 +23,7 @@ Quickstart::
 from repro.axes import Axis
 from repro.engine import Database, Result
 from repro.exec import BatchOutcome, ExecutionEnvironment, QuerySession, run_batch
+from repro.obs import TraceEvent, TraceSummary, Tracer, format_metrics
 from repro.errors import (
     BudgetExceededError,
     DiskProgressError,
@@ -63,6 +64,10 @@ __all__ = [
     "QuerySession",
     "BatchOutcome",
     "run_batch",
+    "Tracer",
+    "TraceEvent",
+    "TraceSummary",
+    "format_metrics",
     "Axis",
     "EvalOptions",
     "ExecutionBudget",

@@ -19,7 +19,9 @@ from repro import (
     ExecutionBudget,
     ImportOptions,
     ReproError,
+    Tracer,
     fault_profile,
+    format_metrics,
 )
 from repro.xmark import generate_xmark
 
@@ -91,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. 'seconds=5,pages=2000,mode=partial')",
     )
     parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record execution traces and write them to FILE on exit "
+        "(Chrome trace-viewer JSON; a .jsonl suffix selects JSON-lines "
+        "events instead)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the per-query metrics rollup (operator table, cluster "
+        "heatmap, retry histogram) derived from the tracer",
+    )
+    parser.add_argument(
         "--latency-slo",
         type=float,
         default=None,
@@ -140,7 +156,7 @@ def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
     return EvalOptions(**kwargs) if kwargs else None
 
 
-def load_database(args: argparse.Namespace) -> Database:
+def load_database(args: argparse.Namespace, tracer: Tracer | None = None) -> Database:
     faults = fault_profile(args.faults) if args.faults else None
     options = eval_options_from(args)
     if faults is not None and faults.active:
@@ -151,6 +167,7 @@ def load_database(args: argparse.Namespace) -> Database:
             buffer_pages=args.buffer_pages,
             eval_options=options,
             faults=faults,
+            tracer=tracer,
         )
         name = next(iter(db.store.documents))
         if name != "doc":
@@ -166,6 +183,7 @@ def load_database(args: argparse.Namespace) -> Database:
         buffer_pages=args.buffer_pages,
         eval_options=options,
         faults=faults,
+        tracer=tracer,
     )
     import_options = ImportOptions(
         page_size=args.page_size, fragmentation=args.fragmentation, seed=args.seed
@@ -245,6 +263,9 @@ def run_repeated(db, session, query: str, plan: str, args: argparse.Namespace) -
         f"({session.compiles} compiles, {session.cache_hits} cache hits, "
         f"{'warm' if args.warm else 'cold'} runs)"
     )
+    if args.metrics and results[-1].trace_summary is not None:
+        print(f"  metrics for run {len(results)}/{args.repeat}:")
+        print(format_metrics(results[-1].trace_summary))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -252,8 +273,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
         return 1
+    tracer = Tracer() if (args.trace or args.metrics) else None
     try:
-        db = load_database(args)
+        db = load_database(args, tracer=tracer)
         session = db.session(warm=args.warm)
         for query in args.queries:
             print(f"\n{query}")
@@ -271,6 +293,17 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"  {plan:<14s} error: {error}")
                     continue
                 print_result(db, plan, result, args.show_nodes)
+                if args.metrics and result.trace_summary is not None:
+                    print(format_metrics(result.trace_summary))
+        if tracer is not None and args.trace:
+            if args.trace.endswith(".jsonl"):
+                tracer.export_jsonl(args.trace)
+            else:
+                tracer.export_chrome(args.trace)
+            print(
+                f"\ntrace written to {args.trace} "
+                f"({tracer.events_recorded} events, {tracer.dropped} dropped)"
+            )
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -22,6 +22,9 @@ class Operator:
     def __init__(self, ctx: EvalContext) -> None:
         self.ctx = ctx
         self._iter: Iterator[PathInstance] | None = None
+        #: open-time simulated timestamp while a trace span is live
+        self._trace_t0: float | None = None
+        self._trace_out = 0
 
     def _produce(self) -> Iterator[PathInstance]:
         raise NotImplementedError
@@ -29,19 +32,34 @@ class Operator:
     def open(self) -> None:
         """Prepare the operator (and its inputs) for enumeration."""
         self._iter = self._produce()
+        if self.ctx.tracer is not None:
+            self._trace_t0 = self.ctx.clock.now
+            self._trace_out = 0
 
     def next(self) -> PathInstance | None:
         """Return the next result, or None when exhausted."""
         if self._iter is None:
             raise PlanError(f"{type(self).__name__}.next() before open()")
         self.ctx.charge_call()
-        return next(self._iter, None)
+        item = next(self._iter, None)
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            produced = item is not None
+            self._trace_out += produced
+            tracer.op_call(type(self).__name__, produced)
+        return item
 
     def close(self) -> None:
         """Release operator resources."""
         if self._iter is not None:
             self._iter.close()  # type: ignore[attr-defined]
             self._iter = None
+        tracer = self.ctx.tracer
+        if tracer is not None and self._trace_t0 is not None:
+            tracer.op_span(
+                type(self).__name__, self._trace_t0, self.ctx.clock.now, self._trace_out
+            )
+            self._trace_t0 = None
 
     def __iter__(self) -> Iterator[PathInstance]:
         """Convenience: drain the operator (used inside ``_produce``)."""

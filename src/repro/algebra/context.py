@@ -27,7 +27,10 @@ class ExecutionBudget:
     max_seconds:
         Maximum simulated wall-clock seconds for the run.
     max_pages:
-        Maximum pages read (physical service attempts) by the run.
+        Maximum *logical* page reads by the run (``Stats.pages_requested``).
+        Fault-recovery retries of the same read are the fault injector's
+        doing, not the query's, so they never double-charge this limit;
+        cap recovery effort with ``max_retries`` instead.
     max_retries:
         Maximum fault-recovery retries the run may consume.
     on_exceeded:
@@ -190,6 +193,7 @@ class EvalContext:
         stats: Stats,
         options: EvalOptions,
         tags=None,
+        tracer=None,
     ) -> None:
         self.segment = segment
         self.buffer = buffer
@@ -200,6 +204,10 @@ class EvalContext:
         self.options = options
         #: the store's tag dictionary (needed by serialisation operators)
         self.tags = tags
+        #: optional :class:`~repro.obs.tracer.Tracer`; every
+        #: instrumentation site guards on ``is not None`` (the same
+        #: zero-overhead discipline as the budget check in charge_call)
+        self.tracer = tracer
         #: The cluster currently being processed; maintained (pinned) by
         #: the plan's I/O-performing operator.  All swizzled slot
         #: references in flight between XStep operators point into it.
@@ -226,16 +234,22 @@ class EvalContext:
         """One intra-cluster edge traversal."""
         self.clock.work(self.costs.intra_hop)
         self.stats.intra_hops += 1
+        if self.tracer is not None:
+            self.tracer.count("intra_hops")
 
     def charge_test(self) -> None:
         """One node-test evaluation."""
         self.clock.work(self.costs.node_test)
         self.stats.node_tests += 1
+        if self.tracer is not None:
+            self.tracer.count("node_tests")
 
     def charge_instance(self) -> None:
         """Creation/copy of one path-instance tuple."""
         self.clock.work(self.costs.instance_op)
         self.stats.instances_created += 1
+        if self.tracer is not None:
+            self.tracer.count("instances_created")
 
     def charge_set_op(self) -> None:
         """One R/S/duplicate-hash operation."""
@@ -271,7 +285,7 @@ class EvalContext:
         self._budget = budget
         self._budget_error = None
         self._budget_t0 = self.clock.now
-        self._budget_pages0 = self.stats.pages_read
+        self._budget_pages0 = self.stats.pages_requested
         self._budget_retries0 = self.stats.retries
         return True
 
@@ -291,7 +305,10 @@ class EvalContext:
         spent_s = self.clock.now - self._budget_t0
         if budget.max_seconds is not None and spent_s > budget.max_seconds:
             self._budget_blown("seconds", budget.max_seconds, spent_s, budget)
-        spent_pages = self.stats.pages_read - self._budget_pages0
+        # logical reads, not physical service attempts: a page the fault
+        # layer retried (or that was sidelined and later recovered via
+        # fallback) is charged once, however many attempts recovery took
+        spent_pages = self.stats.pages_requested - self._budget_pages0
         if budget.max_pages is not None and spent_pages > budget.max_pages:
             self._budget_blown("pages", budget.max_pages, spent_pages, budget)
         spent_retries = self.stats.retries - self._budget_retries0
@@ -319,6 +336,14 @@ class EvalContext:
         self.degradation_events.append(
             DegradationEvent(reason=reason, sim_time=self.clock.now, page=page, detail=detail)
         )
+        if self.tracer is not None:
+            self.tracer.event(
+                self.clock.now,
+                "degradation",
+                reason,
+                page=page,
+                args={"detail": detail} if detail else None,
+            )
 
     def report_since(self, start_index: int, partial: bool = False) -> DegradationReport | None:
         """Degradation report for events recorded after ``start_index``.
@@ -342,6 +367,8 @@ class EvalContext:
             return
         self.fallback = True
         self.stats.fallbacks += 1
+        if self.tracer is not None:
+            self.tracer.count("fallbacks")
         self.note_degradation(reason, page=page, detail=detail or "fell back to Simple-method evaluation")
         for hook in list(self.fallback_hooks):
             hook()

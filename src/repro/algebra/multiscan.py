@@ -98,6 +98,8 @@ def shared_scan(
                 frame = ctx.buffer.fix(page_no)
             ctx.set_current_frame(frame)
             ctx.stats.clusters_visited += 1
+            if ctx.tracer is not None:
+                ctx.tracer.count("clusters_visited")
             page = frame.page
             for state in states:
                 batch: list[PathInstance] = []
@@ -118,6 +120,8 @@ def shared_scan(
                     for border_slot in speculative_entries(page, step.axis):
                         ctx.charge_instance()
                         ctx.stats.speculative_instances += 1
+                        if ctx.tracer is not None:
+                            ctx.tracer.count("speculative_instances")
                         batch.append(
                             PathInstance(
                                 s_l=step_index,

@@ -166,6 +166,8 @@ class XAssembly(Operator):
         left_key = (y.s_l, y.n_l)
         if self._r_contains(left_key):
             self.ctx.stats.merges += 1
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.count("merges")
             return self._activate(stored)
         self.ctx.charge_set_op()
         self._s.setdefault(left_key, []).append(stored)
@@ -193,6 +195,8 @@ class XAssembly(Operator):
         key = (self.path_len, nid)
         if self._r_contains(key):
             self.ctx.stats.duplicates_suppressed += 1
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.count("duplicates_suppressed")
             return None
         self._r_add(key)
         return nid
@@ -207,6 +211,8 @@ class XAssembly(Operator):
         key = (step, junction)
         if self._r_contains(key):
             self.ctx.stats.duplicates_suppressed += 1
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.count("duplicates_suppressed")
             return
         self._r_add(key)
         if self.schedule is not None:
@@ -220,6 +226,8 @@ class XAssembly(Operator):
         pending = self._s.pop(key, None)
         if pending:
             self.ctx.stats.merges += len(pending)
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.count("merges", len(pending))
             self._s_size -= len(pending)
             self._ready.extend(pending)
 

@@ -88,6 +88,8 @@ class XScan(Operator):
                 frame = ctx.buffer.fix(page_no)
             ctx.set_current_frame(frame)
             ctx.stats.clusters_visited += 1
+            if ctx.tracer is not None:
+                ctx.tracer.count("clusters_visited")
 
             for y in by_cluster.pop(page_no, ()):  # contexts first (paper)
                 ctx.charge_instance()
@@ -98,6 +100,8 @@ class XScan(Operator):
                 for border_slot in speculative_entries(frame.page, step.axis):
                     ctx.charge_instance()
                     ctx.stats.speculative_instances += 1
+                    if ctx.tracer is not None:
+                        ctx.tracer.count("speculative_instances")
                     yield PathInstance(
                         s_l=step_index,
                         n_l=make_nodeid(page_no, border_slot),

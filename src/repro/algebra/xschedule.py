@@ -91,6 +91,10 @@ class XSchedule(Operator):
         #: they are drained last, so one sick region cannot stall the rest
         self._sidelined: set[int] = set()
         self._dead_tries: dict[int, int] = {}
+        #: pages already reported as "dead-page" — a page can fail on the
+        #: async path *and* on each synchronous recovery round, but the
+        #: degradation report must carry it once
+        self._dead_noted: set[int] = set()
 
     def open(self) -> None:
         self.producer.open()
@@ -182,6 +186,8 @@ class XSchedule(Operator):
             ctx.set_current_frame(frame)
             if cluster != self._current:
                 ctx.stats.clusters_visited += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.count("clusters_visited")
             self._current = cluster
 
             first_visit = cluster not in self._visited
@@ -249,9 +255,13 @@ class XSchedule(Operator):
         if slo is None or ctx.iosys.last_latency <= slo:
             return
         ctx.stats.slo_violations += 1
+        if ctx.tracer is not None:
+            ctx.tracer.count("slo_violations")
         if page not in self._sidelined:
             self._sidelined.add(page)
             ctx.stats.sidelined_clusters += 1
+            if ctx.tracer is not None:
+                ctx.tracer.count("sidelined_clusters")
             ctx.note_degradation(
                 "latency-slo",
                 page=page,
@@ -273,10 +283,9 @@ class XSchedule(Operator):
         if page is not None and page not in self._sidelined:
             self._sidelined.add(page)
             ctx.stats.sidelined_clusters += 1
-        if ctx.fallback:
-            ctx.note_degradation("dead-page", page=page, detail=str(exc))
-        else:
-            ctx.trip_fallback("dead-page", page=page, detail=str(exc))
+            if ctx.tracer is not None:
+                ctx.tracer.count("sidelined_clusters")
+        self._note_dead(page, str(exc))
 
     def _on_unreadable(self, cluster: int, entry: _QEntry, exc: IOError_) -> None:
         """A synchronous cluster read failed even after retries."""
@@ -292,12 +301,26 @@ class XSchedule(Operator):
                 detail=f"cluster unreadable after {tries} recovery rounds",
             )
             raise exc
-        if ctx.fallback:
-            ctx.note_degradation("dead-page", page=cluster, detail=str(exc))
-        else:
-            ctx.trip_fallback("dead-page", page=cluster, detail=str(exc))
+        self._note_dead(cluster, str(exc))
         self._current = None
         self._enqueue(entry)
+
+    def _note_dead(self, page: int | None, detail: str) -> None:
+        """Report a dead page exactly once, however many paths hit it.
+
+        The same page can exhaust its async retries (``_on_dead_page``)
+        and then fail again on one or more synchronous recovery rounds
+        (``_on_unreadable``); without this dedup each round appended its
+        own "dead-page" event to the degradation report.
+        """
+        ctx = self.ctx
+        already = page is not None and page in self._dead_noted
+        if page is not None:
+            self._dead_noted.add(page)
+        if not ctx.fallback:
+            ctx.trip_fallback("dead-page", page=page, detail=detail)
+        elif not already:
+            ctx.note_degradation("dead-page", page=page, detail=detail)
 
     def _speculate(self, page) -> Iterator[PathInstance]:
         """Left-incomplete instances for every entry border of ``page``."""
@@ -307,6 +330,8 @@ class XSchedule(Operator):
             for border_slot in speculative_entries(page, step.axis):
                 ctx.charge_instance()
                 ctx.stats.speculative_instances += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.count("speculative_instances")
                 yield PathInstance(
                     s_l=step_index,
                     n_l=make_nodeid(page_no, border_slot),

@@ -81,6 +81,8 @@ class XStep(Operator):
         for is_border, slot in nav:
             if is_border:
                 ctx.stats.border_crossings_deferred += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.count("border_crossings_deferred")
                 ctx.charge_instance()
                 yield PathInstance(
                     s_l=p.s_l,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.algebra.context import DegradationReport, EvalContext, EvalOptions
 from repro.errors import ReproError
 from repro.exec.environment import ExecutionEnvironment
+from repro.obs import TraceSummary, Tracer
 from repro.sim.faults import FaultProfile
 from repro.model.builder import TreeBuilder
 from repro.model.tree import Kind, LogicalTree
@@ -58,6 +59,10 @@ class Result:
     #: why (and how) this execution degraded — fallback trips, sidelined
     #: clusters, budget cuts.  ``None`` for a full-fidelity run.
     degradation: DegradationReport | None = None
+    #: trace-derived rollups for this run (``None`` unless the database
+    #: was built with a :class:`~repro.obs.tracer.Tracer`); the mirrored
+    #: counters reconcile exactly with ``stats``
+    trace_summary: TraceSummary | None = None
 
     @property
     def degraded(self) -> bool:
@@ -82,6 +87,7 @@ class Result:
         stats: Stats | None = None,
         shared_io_queries: int = 1,
         degradation: DegradationReport | None = None,
+        trace_summary: TraceSummary | None = None,
     ) -> "Result":
         """Bundle the timing since ``mark`` and ``ctx``'s counters.
 
@@ -101,6 +107,7 @@ class Result:
             stats=ctx.stats if stats is None else stats,
             shared_io_queries=shared_io_queries,
             degradation=degradation,
+            trace_summary=trace_summary,
         )
 
     @property
@@ -135,6 +142,7 @@ class Database:
         eval_options: EvalOptions | None = None,
         store: DocumentStore | None = None,
         faults: FaultProfile | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if store is not None and store.segment.page_size != page_size:
             raise ReproError("store page size must match the database page size")
@@ -152,6 +160,7 @@ class Database:
             buffer_pages=buffer_pages,
             options=self.eval_options,
             faults=faults,
+            tracer=tracer,
         )
         self.geometry = self.env.geometry
 
@@ -231,6 +240,8 @@ class Database:
         ctx = context or self.env.fresh_context(options)
         events_mark = len(ctx.degradation_events)
         mark = ctx.clock.checkpoint()
+        tracer = ctx.tracer
+        trace_mark = tracer.mark() if tracer is not None else None
         value, nodes = compiled.execute(ctx)
         # a "partial" budget records its cut as a degradation event and
         # returns normally; a "raise" budget propagates out of execute()
@@ -246,6 +257,9 @@ class Database:
             value=value,
             nodes=nodes,
             degradation=ctx.report_since(events_mark, partial=partial),
+            trace_summary=(
+                tracer.summary(since=trace_mark) if tracer is not None else None
+            ),
         )
 
     def session(
@@ -300,6 +314,7 @@ class Database:
         eval_options: EvalOptions | None = None,
         collect_statistics: bool = True,
         faults: FaultProfile | None = None,
+        tracer: Tracer | None = None,
     ) -> "Database":
         """Open a database from a file written by :meth:`save`.
 
@@ -319,6 +334,7 @@ class Database:
             eval_options=eval_options,
             store=store,
             faults=faults,
+            tracer=tracer,
         )
         if collect_statistics:
             for doc in store.documents.values():
@@ -347,6 +363,8 @@ class Database:
         document = self.store.document(doc)
         ctx = self.env.fresh_context(options)
         mark = ctx.clock.checkpoint()
+        tracer = ctx.tracer
+        trace_mark = tracer.mark() if tracer is not None else None
         if method == "scan":
             text = export_scan(ctx, document)
         elif method == "navigate":
@@ -354,7 +372,14 @@ class Database:
         else:
             raise ReproError(f"unknown export method {method!r}")
         result = Result.from_context(
-            ctx, mark, query=f"export[{method}]", doc=doc, plan_kinds=[]
+            ctx,
+            mark,
+            query=f"export[{method}]",
+            doc=doc,
+            plan_kinds=[],
+            trace_summary=(
+                tracer.summary(since=trace_mark) if tracer is not None else None
+            ),
         )
         return text, result
 

@@ -49,6 +49,9 @@ class BatchOutcome:
     stats: Stats  #: shared physical counters for the whole batch
     scan_shared: int  #: queries evaluated via the shared sequential scan
     interleaved: int  #: queries interleaved over the shared disk queue
+    #: trace rollups for the whole batch (``None`` without a tracer);
+    #: shared by every per-query result, like ``stats``
+    trace_summary: object | None = None
 
     @property
     def makespan(self) -> float:
@@ -130,6 +133,13 @@ def run_batch(
     shared = session.context(session.options)
     mark = shared.clock.checkpoint()
     before = shared.stats.snapshot()
+    tracer = shared.tracer
+    trace_mark = tracer.mark() if tracer is not None else None
+    if tracer is not None:
+        scan_members = sum(len(members) for members in scan_groups.values())
+        tracer.batch_event(
+            shared.clock.now, len(reqs), scan_members, len(queue_members)
+        )
     #: per request: (value, nodes, clock checkpoint, degradation report)
     outcomes: list[tuple | None] = [None] * len(reqs)
 
@@ -178,6 +188,7 @@ def run_batch(
     # ---- per-query results with shared-I/O attribution
     batch_stats = shared.stats.diff(before)
     total, cpu, io_wait = shared.clock.since(mark)
+    batch_summary = tracer.summary(since=trace_mark) if tracer is not None else None
     results: list[Result] = []
     for (query, rdoc, _), cq, outcome in zip(reqs, compiled, outcomes):
         value, nodes, checkpoint, degradation = outcome
@@ -194,6 +205,7 @@ def run_batch(
                 stats=batch_stats,
                 shared_io_queries=len(reqs),
                 degradation=degradation,
+                trace_summary=batch_summary,
             )
         )
     scan_count = sum(len(members) for members in scan_groups.values())
@@ -205,6 +217,7 @@ def run_batch(
         stats=batch_stats,
         scan_shared=scan_count,
         interleaved=len(queue_members),
+        trace_summary=batch_summary,
     )
     session._account_batch(outcome)
     return outcome

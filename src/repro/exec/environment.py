@@ -57,6 +57,7 @@ class ExecutionEnvironment:
         buffer_pages: int = 256,
         options: EvalOptions | None = None,
         faults: FaultProfile | None = None,
+        tracer=None,
     ) -> None:
         self.segment = segment
         self.tags = tags
@@ -71,6 +72,10 @@ class ExecutionEnvironment:
         #: :meth:`fresh_context` gets a *fresh* FaultPlan over it, so two
         #: cold runs with the same profile replay identical faults
         self.faults = faults if faults is not None and faults.active else None
+        #: optional :class:`~repro.obs.tracer.Tracer` shared by every
+        #: context this environment builds; ``None`` keeps every
+        #: instrumentation site on its single-``is None``-test fast path
+        self.tracer = tracer
         #: number of cold runtimes built (one per cold run / shared batch)
         self.contexts_built = 0
 
@@ -87,10 +92,20 @@ class ExecutionEnvironment:
         stats = Stats()
         clock = SimClock()
         plan = FaultPlan(self.faults) if self.faults is not None else None
-        disk = DiskDevice(self.geometry, self.disk_policy, stats, faults=plan)
-        iosys = AsyncIOSystem(disk, clock, self.costs, stats, retry=opts.retry)
+        disk = DiskDevice(
+            self.geometry, self.disk_policy, stats, faults=plan, tracer=self.tracer
+        )
+        iosys = AsyncIOSystem(
+            disk, clock, self.costs, stats, retry=opts.retry, tracer=self.tracer
+        )
         buffer = BufferManager(
-            self.segment, iosys, clock, self.costs, self.buffer_pages, stats
+            self.segment,
+            iosys,
+            clock,
+            self.costs,
+            self.buffer_pages,
+            stats,
+            tracer=self.tracer,
         )
         self.contexts_built += 1
         return EvalContext(
@@ -102,6 +117,7 @@ class ExecutionEnvironment:
             stats,
             opts,
             tags=self.tags,
+            tracer=self.tracer,
         )
 
     def view(
@@ -123,4 +139,5 @@ class ExecutionEnvironment:
             shared.stats,
             options or shared.options,
             tags=shared.tags,
+            tracer=shared.tracer,
         )

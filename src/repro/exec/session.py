@@ -74,13 +74,18 @@ class QuerySession:
         kind = plan if isinstance(plan, PlanKind) else PlanKind(plan)
         opts = options or self.options
         key = (query, doc, kind.value, opts)
+        tracer = self.env.tracer
         cached = self._plans.get(key)
         if cached is not None:
             self._plans.move_to_end(key)
             self.cache_hits += 1
+            if tracer is not None:
+                tracer.plan_cache_event(True, query, doc, kind.value)
             return cached
         self.cache_misses += 1
         self.compiles += 1
+        if tracer is not None:
+            tracer.plan_cache_event(False, query, doc, kind.value)
         compiled = self.db.prepare(query, doc, kind, opts)
         self._plans[key] = compiled
         while len(self._plans) > self.cache_size:
@@ -131,6 +136,8 @@ class QuerySession:
         events_mark = len(ctx.degradation_events)
         mark = ctx.clock.checkpoint()
         before = ctx.stats.snapshot()
+        tracer = ctx.tracer
+        trace_mark = tracer.mark() if tracer is not None else None
         value, nodes = compiled.execute(ctx)
         partial = any(
             e.reason == "budget" for e in ctx.degradation_events[events_mark:]
@@ -145,6 +152,9 @@ class QuerySession:
             nodes=nodes,
             stats=ctx.stats.diff(before),
             degradation=ctx.report_since(events_mark, partial=partial),
+            trace_summary=(
+                tracer.summary(since=trace_mark) if tracer is not None else None
+            ),
         )
         self._account(result)
         return result

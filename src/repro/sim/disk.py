@@ -111,10 +111,12 @@ class DiskDevice:
         policy: SchedulingPolicy = SchedulingPolicy.SSTF,
         stats: Stats | None = None,
         faults: FaultPlan | None = None,
+        tracer=None,
     ) -> None:
         self.geometry = geometry or DiskGeometry()
         self.policy = policy
         self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer
         #: fault plan consulted per service attempt; None = perfect disk
         self.faults = faults
         #: page number the head is positioned at (page following the last read)
@@ -135,6 +137,9 @@ class DiskDevice:
         self._seq += 1
         self._pending.append(req)
         self.stats.io_requests += 1
+        if self.tracer is not None:
+            self.tracer.count("io_requests")
+            self.tracer.event(now, "disk", "enqueue", page=page)
         return req
 
     def queued(self, page: int) -> bool:
@@ -202,6 +207,14 @@ class DiskDevice:
                         # serviced, but the completion notification vanished:
                         # the caller only finds out via its request timeout
                         self.stats.lost_requests += 1
+                        if self.tracer is not None:
+                            self.tracer.count("lost_requests")
+                            self.tracer.event(
+                                self._in_flight.done_time,
+                                "disk",
+                                "completion-lost",
+                                page=self._in_flight.page,
+                            )
                     else:
                         self._completed.append(self._in_flight)
                     self._in_flight = None
@@ -219,11 +232,14 @@ class DiskDevice:
 
     def _start_service(self, req: Request, start: float, queue_depth: int) -> None:
         geo = self.geometry
+        tracer = self.tracer
         distance = abs(req.page - self.head)
         if distance == 0:
             # head already positioned: streaming read, transfer only
             duration = geo.transfer_time
             self.stats.sequential_reads += 1
+            if tracer is not None:
+                tracer.count("sequential_reads")
         else:
             rotational = geo.rotational_latency
             if self.policy is not SchedulingPolicy.FIFO and queue_depth > 1:
@@ -238,17 +254,33 @@ class DiskDevice:
             duration = geo.seek_time(distance) + rotational + geo.transfer_time
             self.stats.seeks += 1
             self.stats.seek_distance += distance
+            if tracer is not None:
+                tracer.count("seeks")
+                tracer.count("seek_distance", distance)
         if self.faults is not None:
             verdict = self.faults.service(req.page)
             req.outcome = verdict.outcome
             if verdict.slow_factor != 1.0:
                 duration *= verdict.slow_factor
                 self.stats.slow_services += 1
+                if tracer is not None:
+                    tracer.count("slow_services")
         req.start_time = start
         req.done_time = start + duration
         self.head = req.page + 1
         self.busy_until = req.done_time
         self.stats.pages_read += 1
+        if tracer is not None:
+            tracer.count("pages_read")
+            tracer.cluster_read(req.page)
+            tracer.event(
+                start,
+                "disk",
+                "service",
+                page=req.page,
+                dur=duration,
+                args={"outcome": req.outcome.value, "distance": distance},
+            )
         self._in_flight = req
 
     def _pick(self, candidates: list[Request]) -> Request:

@@ -44,12 +44,14 @@ class AsyncIOSystem:
         costs: CostModel,
         stats: Stats | None = None,
         retry: RetryPolicy | None = None,
+        tracer=None,
     ) -> None:
         self.disk = disk
         self.clock = clock
         self.costs = costs
         self.stats = stats if stats is not None else disk.stats
         self.retry = retry or RetryPolicy()
+        self.tracer = tracer
         #: page -> simulated time of the *first* submission of the
         #: current logical read (resubmissions keep the original time, so
         #: latency and timeouts measure the whole recovery chain)
@@ -77,6 +79,11 @@ class AsyncIOSystem:
         self._requested[page] = self.clock.now
         self._attempts[page] = 1
         self.stats.async_requests += 1
+        self.stats.pages_requested += 1
+        if self.tracer is not None:
+            self.tracer.count("async_requests")
+            self.tracer.count("pages_requested")
+            self.tracer.event(self.clock.now, "io", "request", page=page)
         return True
 
     def try_get_completion(self) -> int | None:
@@ -143,11 +150,17 @@ class AsyncIOSystem:
         blocks until that earlier request delivers it.
         """
         self.stats.sync_requests += 1
+        if self.tracer is not None:
+            self.tracer.count("sync_requests")
         if page not in self._requested:
             self.clock.work(self.costs.io_submit)
             self.disk.submit(page, self.clock.now)
             self._requested[page] = self.clock.now
             self._attempts[page] = 1
+            self.stats.pages_requested += 1
+            if self.tracer is not None:
+                self.tracer.count("pages_requested")
+                self.tracer.event(self.clock.now, "io", "sync-read", page=page)
         # Drain completions until our page arrives; completions for other
         # pages are re-surfaced to the caller via the pending set, but with
         # a purely synchronous workload the first completion is ours.
@@ -174,6 +187,8 @@ class AsyncIOSystem:
     def _retry_failed(self, page: int, blocking: bool) -> None:
         """Handle a failed completion: backoff + resubmit, or escalate."""
         self.stats.io_errors += 1
+        if self.tracer is not None:
+            self.tracer.count("io_errors")
         attempts = self._attempts.get(page, 1)
         if attempts > self.retry.max_retries:
             self._requested.pop(page, None)
@@ -183,6 +198,17 @@ class AsyncIOSystem:
         self.stats.backoff_wait += delay
         self.stats.retries += 1
         self._attempts[page] = attempts + 1
+        if self.tracer is not None:
+            self.tracer.count("backoff_wait", delay)
+            self.tracer.count("retries")
+            self.tracer.io_retry(attempts)
+            self.tracer.event(
+                self.clock.now,
+                "io",
+                "retry",
+                page=page,
+                args={"attempt": attempts, "delay": delay, "blocking": blocking},
+            )
         if blocking:
             # the caller needs this page now: the CPU sits out the backoff
             self.clock.wait_until(self.clock.now + delay)
@@ -205,6 +231,8 @@ class AsyncIOSystem:
             first_submit = self._requested[page]
             attempts = self._attempts.get(page, 1)
             self.stats.timeouts += 1
+            if self.tracer is not None:
+                self.tracer.count("timeouts")
             if attempts > self.retry.max_retries:
                 self._requested.pop(page, None)
                 self._attempts.pop(page, None)
@@ -212,6 +240,16 @@ class AsyncIOSystem:
             deadline = first_submit + attempts * self.retry.request_timeout
             self.stats.retries += 1
             self._attempts[page] = attempts + 1
+            if self.tracer is not None:
+                self.tracer.count("retries")
+                self.tracer.io_retry(attempts)
+                self.tracer.event(
+                    self.clock.now,
+                    "io",
+                    "timeout-resubmit",
+                    page=page,
+                    args={"attempt": attempts, "deadline": deadline},
+                )
             self.disk.submit(page, max(self.clock.now, deadline))
 
     # -------------------------------------------------------------- internals
@@ -221,6 +259,14 @@ class AsyncIOSystem:
         self._attempts.pop(req.page, None)
         if first_submit is not None:
             self.last_latency = max(0.0, self.clock.now - first_submit)
+            if self.tracer is not None:
+                self.tracer.event(
+                    self.clock.now,
+                    "io",
+                    "complete",
+                    page=req.page,
+                    args={"latency": self.last_latency},
+                )
         if surface:
             # A completion for a different page arrived while waiting
             # synchronously; remember it so callers can still consume it.

@@ -23,6 +23,11 @@ class Stats:
 
     # I/O layer
     io_requests: int = 0
+    #: logical page-read operations issued by the engine; fault-recovery
+    #: retries of the same read do *not* recharge it (contrast
+    #: ``pages_read``, which counts physical service attempts) — this is
+    #: the dimension ``ExecutionBudget.max_pages`` meters
+    pages_requested: int = 0
     pages_read: int = 0
     seeks: int = 0
     seek_distance: int = 0

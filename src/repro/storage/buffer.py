@@ -55,6 +55,7 @@ class BufferManager:
         costs: CostModel,
         capacity: int,
         stats: Stats,
+        tracer=None,
     ) -> None:
         if capacity < 1:
             raise BufferError_(f"buffer capacity must be positive, got {capacity}")
@@ -64,6 +65,7 @@ class BufferManager:
         self.costs = costs
         self.capacity = capacity
         self.stats = stats
+        self.tracer = tracer
         self._frames: dict[int, Frame] = {}
         self._tick = 0
 
@@ -78,9 +80,15 @@ class BufferManager:
         """
         self.clock.work(self.costs.swizzle)
         self.stats.swizzles += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.count("swizzles")
         frame = self._frames.get(page_no)
         if frame is None:
             self.stats.buffer_misses += 1
+            if tracer is not None:
+                tracer.count("buffer_misses")
+                tracer.event(self.clock.now, "buffer", "miss", page=page_no)
             self.iosys.read_sync(page_no)
             frame = self._admit(page_no)
             for early_page in self.iosys.drain_early_completions():
@@ -88,6 +96,9 @@ class BufferManager:
                     self._admit(early_page)
         else:
             self.stats.buffer_hits += 1
+            if tracer is not None:
+                tracer.count("buffer_hits")
+                tracer.event(self.clock.now, "buffer", "hit", page=page_no)
         frame.pins += 1
         self._touch(frame)
         return frame
@@ -96,10 +107,16 @@ class BufferManager:
         """Swizzle only if the page is already buffered (no I/O)."""
         self.clock.work(self.costs.swizzle)
         self.stats.swizzles += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.count("swizzles")
         frame = self._frames.get(page_no)
         if frame is None:
             return None
         self.stats.buffer_hits += 1
+        if tracer is not None:
+            tracer.count("buffer_hits")
+            tracer.event(self.clock.now, "buffer", "hit", page=page_no)
         frame.pins += 1
         self._touch(frame)
         return frame
@@ -110,6 +127,8 @@ class BufferManager:
             raise BufferError_(f"unfix of unpinned frame {frame.page_no}")
         frame.pins -= 1
         self.stats.unswizzles += 1
+        if self.tracer is not None:
+            self.tracer.count("unswizzles")
         self.clock.work(self.costs.unswizzle)
 
     def admit_completed(self, page_no: int) -> Frame:
@@ -153,6 +172,9 @@ class BufferManager:
             )
         del self._frames[victim.page_no]
         self.stats.evictions += 1
+        if self.tracer is not None:
+            self.tracer.count("evictions")
+            self.tracer.event(self.clock.now, "buffer", "evict", page=victim.page_no)
 
     def _touch(self, frame: Frame) -> None:
         self._tick += 1

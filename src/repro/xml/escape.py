@@ -9,20 +9,32 @@ from __future__ import annotations
 from repro.model.tree import Kind, LogicalTree
 
 
+# C0 control characters must round-trip as character references: emitted
+# raw, a control like \r makes a text node whitespace-only *before* the
+# parser decodes entities, so re-import silently drops it.  Tab and
+# newline stay literal in text (they survive the whitespace test inside
+# non-empty text and read better); attributes escape every control so the
+# value is safe on a single source line.
+_TEXT_CONTROLS = {
+    i: f"&#{i};" for i in range(0x20) if i not in (ord("\t"), ord("\n"))
+}
+_ATTR_CONTROLS = {i: f"&#{i};" for i in range(0x20)}
+
+
 def escape_text(text: str) -> str:
-    """Escape character data for element content."""
-    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    """Escape character data for element content.
+
+    ``>`` is always escaped, so a literal ``]]>`` in a text node can
+    never form a CDATA-section terminator in the output.
+    """
+    escaped = text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    return escaped.translate(_TEXT_CONTROLS)
 
 
 def escape_attribute(value: str) -> str:
     """Escape an attribute value for double-quoted serialization."""
-    return (
-        value.replace("&", "&amp;")
-        .replace("<", "&lt;")
-        .replace('"', "&quot;")
-        .replace("\n", "&#10;")
-        .replace("\t", "&#9;")
-    )
+    escaped = value.replace("&", "&amp;").replace("<", "&lt;").replace('"', "&quot;")
+    return escaped.translate(_ATTR_CONTROLS)
 
 
 def serialize(tree: LogicalTree, node: int | None = None, indent: bool = False) -> str:

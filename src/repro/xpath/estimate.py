@@ -54,7 +54,10 @@ def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathE
                 weight = dist.get(source_tag)
                 if not weight:
                     continue
-                total = stats.tag_counts.get(source_tag, 1)
+                # `or 1` (not a .get default): a stored count of 0 must
+                # not divide — stale/degenerate statistics should give a
+                # crude estimate, never a ZeroDivisionError
+                total = stats.tag_counts.get(source_tag) or 1
                 reached = pair_count * (weight / total)
                 if sweeping:
                     visited += reached

@@ -58,6 +58,53 @@ def test_lru_eviction():
     assert session.cache_hits == 1
 
 
+def test_lru_hit_refreshes_recency():
+    """A cache hit must move the entry to the MRU end: with capacity 2,
+    touching //a before inserting //c must evict //b, not //a."""
+    db, _ = small_database(seed=1)
+    session = db.session(cache_size=2)
+    session.prepare("//a", doc="d")
+    session.prepare("//b", doc="d")
+    session.prepare("//a", doc="d")  # refresh //a
+    session.prepare("//c", doc="d")  # must evict //b, the true LRU
+    compiles = session.compiles
+    session.prepare("//a", doc="d")
+    assert session.compiles == compiles  # //a survived
+    session.prepare("//b", doc="d")
+    assert session.compiles == compiles + 1  # //b was the victim
+
+
+def test_lru_evicts_on_insert_not_on_lookup():
+    """A lookup (hit or miss before compilation) never shrinks the
+    cache; only inserting a new entry over capacity evicts — and exactly
+    one victim per insert."""
+    db, _ = small_database(seed=1)
+    session = db.session(cache_size=2)
+    session.prepare("//a", doc="d")
+    session.prepare("//b", doc="d")
+    assert session.cached_plans == 2
+    session.prepare("//a", doc="d")  # hit: no eviction
+    session.prepare("//b", doc="d")  # hit: no eviction
+    assert session.cached_plans == 2
+    session.prepare("//c", doc="d")  # one insert, one victim
+    assert session.cached_plans == 2
+
+
+def test_lru_counter_accounting_order():
+    """hits + misses == lookups, compiles == misses, and a re-prepared
+    victim counts as a fresh miss (never a phantom hit)."""
+    db, _ = small_database(seed=1)
+    session = db.session(cache_size=2)
+    for query in ("//a", "//b", "//c", "//a", "//c", "//c"):
+        session.prepare(query, doc="d")
+    # //a, //b, //c compile; //a was evicted by //c so recompiles; the
+    # final two //c lookups hit
+    assert session.compiles == 4
+    assert session.cache_misses == 4
+    assert session.cache_hits == 2
+    assert session.cache_hits + session.cache_misses == 6
+
+
 def test_clear_cache_forces_recompile():
     db, _ = small_database(seed=1)
     session = db.session()

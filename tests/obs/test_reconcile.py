@@ -1,0 +1,110 @@
+"""End-to-end tracing contract: non-perturbation and exact reconciliation.
+
+The two invariants docs/observability.md promises, exercised through the
+whole stack (engine → session → batch, clean and faulty disks):
+
+* installing a tracer never changes the simulated physics — values,
+  timings and ``Stats`` are bit-identical to an untraced run;
+* ``Result.trace_summary`` reconciles counter-for-counter with
+  ``Result.stats``.
+"""
+
+import pytest
+
+from repro import PROFILES, Database, Tracer
+from tests.conftest import small_database
+
+PLANS = ("simple", "xschedule", "xscan", "xscan-shared")
+QUERIES = ("count(//a)", "/root/a/b", "//b//c", "count(//e)")
+
+
+def _traced_twin(db, tracer, faults=None):
+    """A database over the same store, same physics, plus a tracer."""
+    return Database(
+        page_size=db.store.segment.page_size,
+        buffer_pages=db.buffer_pages,
+        store=db.store,
+        faults=faults,
+        tracer=tracer,
+    )
+
+
+@pytest.mark.parametrize("plan", PLANS)
+def test_tracing_is_non_perturbing_and_reconciles(plan):
+    db, _ = small_database(seed=11)
+    tracer = Tracer()
+    traced_db = _traced_twin(db, tracer)
+    for query in QUERIES:
+        vanilla = db.execute(query, doc="d", plan=plan)
+        traced = traced_db.execute(query, doc="d", plan=plan)
+        assert traced.value == vanilla.value
+        assert traced.nodes == vanilla.nodes
+        assert traced.total_time == vanilla.total_time
+        assert traced.stats.as_dict() == vanilla.stats.as_dict()
+        assert vanilla.trace_summary is None
+        assert traced.trace_summary is not None
+        mismatches = traced.trace_summary.reconcile(traced.stats)
+        assert mismatches == {}, f"{plan} {query}: {mismatches}"
+    assert tracer.events_recorded > 0
+
+
+@pytest.mark.parametrize("profile_name", ("transient-errors", "mixed"))
+def test_reconciles_under_fault_recovery(profile_name):
+    """Retries, backoff and timeouts are mirrored exactly too —
+    including the float-valued backoff_wait counter."""
+    db, _ = small_database(seed=12)
+    vanilla_db = _traced_twin(db, None, faults=PROFILES[profile_name])
+    traced_db = _traced_twin(db, Tracer(), faults=PROFILES[profile_name])
+    for plan in ("xschedule", "xscan"):
+        vanilla = vanilla_db.execute("//b//c", doc="d", plan=plan)
+        traced = traced_db.execute("//b//c", doc="d", plan=plan)
+        assert traced.total_time == vanilla.total_time
+        assert traced.stats.as_dict() == vanilla.stats.as_dict()
+        assert traced.trace_summary.reconcile(traced.stats) == {}
+    summary = traced_db.env.tracer.summary()
+    if summary.counter("retries"):
+        assert summary.retry_histogram  # retries land in the histogram
+
+
+def test_warm_session_runs_reconcile_individually():
+    """Per-run summaries on a shared runtime diff against a mark, the
+    same discipline as per-run Stats attribution."""
+    db, _ = small_database(seed=13)
+    tracer = Tracer()
+    traced_db = _traced_twin(db, tracer)
+    session = traced_db.session(warm=True)
+    for query in ("count(//a)", "count(//a)", "//b"):
+        result = session.execute(query, doc="d", plan="xschedule")
+        assert result.trace_summary is not None
+        assert result.trace_summary.reconcile(result.stats) == {}
+    summary = tracer.summary()
+    assert summary.plan_cache["misses"] == 2
+    assert summary.plan_cache["hits"] == 1
+
+
+def test_batch_attribution_reconciles():
+    db, _ = small_database(seed=14)
+    tracer = Tracer()
+    traced_db = _traced_twin(db, tracer)
+    outcome = traced_db.run_batch(
+        [("//a", "d", "xscan"), ("//b", "d", "xscan"), ("//a/b", "d", "xschedule")]
+    )
+    assert outcome.trace_summary is not None
+    assert outcome.trace_summary.reconcile(outcome.stats) == {}
+    assert tracer.batches["batches"] == 1
+    assert tracer.batches["scan_shared"] == 2
+    assert tracer.batches["interleaved"] == 1
+
+
+def test_operator_spans_cover_the_plan():
+    db, _ = small_database(seed=15)
+    tracer = Tracer()
+    traced_db = _traced_twin(db, tracer)
+    traced_db.execute("//a/b", doc="d", plan="xschedule")
+    summary = tracer.summary()
+    assert "XSchedule" in summary.operators
+    assert "XAssembly" in summary.operators
+    assert summary.operators["XSchedule"]["opens"] >= 1
+    # every physical page service shows up in the heatmap, and the
+    # heatmap total equals the mirrored pages_read counter
+    assert sum(summary.cluster_reads.values()) == summary.counter("pages_read")

@@ -1,0 +1,124 @@
+"""Unit tests for the tracer: ring semantics, rollups, exports."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceEvent, Tracer, format_metrics
+from repro.sim.stats import Stats
+
+
+def test_ring_is_bounded_but_counters_survive_overflow():
+    tracer = Tracer(capacity=4)
+    for i in range(10):
+        tracer.event(float(i), "io", "request", page=i)
+        tracer.count("io_requests")
+    assert len(tracer.events) == 4
+    assert tracer.events_recorded == 10
+    assert tracer.dropped == 6
+    # the online registry is exact even though 6 events fell off the ring
+    assert tracer.counters["io_requests"] == 10
+    assert [e.page for e in tracer.events] == [6, 7, 8, 9]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_mark_and_summary_diff_like_stats_snapshot():
+    tracer = Tracer()
+    tracer.count("pages_read", 3)
+    mark = tracer.mark()
+    tracer.count("pages_read", 2)
+    tracer.count("seeks")
+    summary = tracer.summary(since=mark)
+    assert summary.counter("pages_read") == 2
+    assert summary.counter("seeks") == 1
+    assert summary.counter("never_touched") == 0
+    # cumulative summary still sees everything
+    assert tracer.summary().counter("pages_read") == 5
+
+
+def test_reconcile_is_exact_and_catches_tampering():
+    tracer = Tracer()
+    stats = Stats()
+    stats.pages_read = 4
+    stats.seeks = 2
+    tracer.count("pages_read", 4)
+    tracer.count("seeks", 2)
+    assert tracer.summary().reconcile(stats) == {}
+    stats.seeks += 1  # an unmirrored increment must surface
+    assert tracer.summary().reconcile(stats) == {"seeks": (2, 3)}
+
+
+def test_operator_rollups():
+    tracer = Tracer()
+    tracer.op_call("XStep", produced=True)
+    tracer.op_call("XStep", produced=False)
+    tracer.op_span("XStep", t0=1.0, t1=3.5, out=1)
+    roll = tracer.summary().operators["XStep"]
+    assert roll["calls"] == 2
+    assert roll["out"] == 1
+    assert roll["opens"] == 1
+    assert roll["busy"] == pytest.approx(2.5)
+
+
+def test_cluster_heatmap_and_retry_histogram():
+    tracer = Tracer()
+    for page in (7, 7, 7, 3):
+        tracer.cluster_read(page)
+    tracer.io_retry(1)
+    tracer.io_retry(1)
+    tracer.io_retry(2)
+    summary = tracer.summary()
+    assert summary.hottest_clusters(1) == [(7, 3)]
+    assert summary.retry_histogram == {1: 2, 2: 1}
+
+
+def test_jsonl_export_round_trips(tmp_path):
+    tracer = Tracer()
+    tracer.event(0.5, "io", "request", page=9)
+    tracer.event(1.0, "disk", "service", page=9, dur=0.25, args={"outcome": "ok"})
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(str(path)) == 2
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records[0] == {"ts": 0.5, "cat": "io", "name": "request", "page": 9}
+    assert records[1]["dur"] == 0.25
+    assert records[1]["args"] == {"outcome": "ok"}
+
+
+def test_chrome_export_shape(tmp_path):
+    tracer = Tracer()
+    tracer.event(0.001, "io", "request", page=9)
+    tracer.event(0.002, "disk", "service", page=9, dur=0.0005)
+    path = tmp_path / "trace.json"
+    tracer.export_chrome(str(path))
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    events = payload["traceEvents"]
+    # one metadata row per category, then the events themselves
+    metas = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in metas} == {"io", "disk"}
+    span = next(e for e in events if e["ph"] == "X")
+    assert span["ts"] == pytest.approx(2000.0)  # seconds -> microseconds
+    assert span["dur"] == pytest.approx(500.0)
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["args"]["page"] == 9
+
+
+def test_format_metrics_renders_the_live_sections():
+    tracer = Tracer()
+    tracer.count("pages_read", 3)
+    tracer.cluster_read(5)
+    tracer.plan_cache_event(False, "//a", "d", "xscan")
+    text = format_metrics(tracer.summary())
+    assert "pages_read" in text
+    assert "hottest clusters" in text
+    assert "plan cache: 0 hits, 1 misses" in text
+    assert "events:" in text
+
+
+def test_trace_event_as_dict_omits_empty_fields():
+    event = TraceEvent(1.0, "op", "XScan")
+    assert event.as_dict() == {"ts": 1.0, "cat": "op", "name": "XScan"}

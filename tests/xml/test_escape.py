@@ -38,3 +38,36 @@ def test_indented_output_parses_back():
     assert "\n" in pretty
     reparsed = parse_document(pretty)
     assert serialize(reparsed) == serialize(tree)
+
+
+def test_control_characters_escape_as_charrefs():
+    assert escape_text("a\rb") == "a&#13;b"
+    assert escape_text("\x01\x1f") == "&#1;&#31;"
+    # tab and newline stay literal in element content
+    assert escape_text("a\tb\nc") == "a\tb\nc"
+    # attributes escape every control, including tab/newline
+    assert escape_attribute("a\rb\nc\td") == "a&#13;b&#10;c&#9;d"
+    assert escape_attribute("\x00") == "&#0;"
+
+
+def test_control_character_text_round_trips():
+    """A text node of bare controls must survive re-import.
+
+    Serialized raw, ``"\\r"`` is a whitespace-only text node *before*
+    entity decoding, so the parser's whitespace filter silently drops it.
+    """
+    tree = tree_from_nested(("a", ["\r"]))
+    assert serialize(parse_document(serialize(tree))) == serialize(tree)
+    mixed = tree_from_nested(("a", {"x": "v\r\n"}, ["pre\x02post"]))
+    assert serialize(parse_document(serialize(mixed))) == serialize(mixed)
+
+
+def test_cdata_terminator_round_trips():
+    """A literal ``]]>`` in element content can never appear unescaped."""
+    tree = tree_from_nested(("a", ["w]]>w"]))
+    text = serialize(tree)
+    assert "]]>" not in text  # every > in content is &gt;
+    assert serialize(parse_document(text)) == text
+    # in a quoted attribute value "]]>" is legal; it must still round-trip
+    attr = tree_from_nested(("a", {"x": "]]>"}))
+    assert serialize(parse_document(serialize(attr))) == serialize(attr)

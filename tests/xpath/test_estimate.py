@@ -81,6 +81,42 @@ def test_chooser_scales_with_visited_fraction():
     assert choose_io_operator(doc, selective_steps, geo) == "xschedule"
 
 
+def test_zero_tag_count_does_not_divide():
+    """A stored tag count of 0 (stale/degenerate statistics) must yield a
+    crude estimate, never a ZeroDivisionError."""
+    db = make_db(("a", [("b", [("c",)])]))
+    stats = db.document("d").statistics
+    a = db.tags.lookup("a")
+    stats.tag_counts[a] = 0
+    steps = [step(db, Axis.CHILD, "a"), step(db, Axis.CHILD, "b")]
+    estimate = estimate_path(stats, steps)
+    assert estimate.result_cardinality >= 0.0
+
+
+def test_empty_document_statistics():
+    """A document with no element pairs estimates without crashing."""
+    db = make_db(("a",))
+    stats = db.document("d").statistics
+    steps = [step(db, Axis.CHILD, "a"), step(db, Axis.DESCENDANT, "b")]
+    estimate = estimate_path(stats, steps)
+    assert estimate.result_cardinality == 0.0
+    assert 0.0 <= estimate.visited_fraction <= 1.0
+
+
+def test_zero_selectivity_step_short_circuits():
+    """A step no node can match empties the frontier; later steps add
+    nothing and the estimate stays finite."""
+    db = make_db(("a", [("b",)] * 4))
+    stats = db.document("d").statistics
+    steps = [
+        step(db, Axis.CHILD, "nothing", kind="name"),
+        step(db, Axis.DESCENDANT, "b"),
+    ]
+    estimate = estimate_path(stats, steps)
+    assert estimate.result_cardinality == 0.0
+    assert estimate.visited_nodes >= 1.0
+
+
 def test_chooser_prefers_scan_on_tiny_documents():
     """On a handful of small pages, streaming everything beats any seek
     at all — the chooser should say so."""
