@@ -28,6 +28,7 @@ from harness import (
     build_xmark_db,
     format_fig_table,
     format_table3,
+    write_bench_json,
 )
 
 _STORE_CACHE: dict[float, object] = {}
@@ -73,6 +74,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         if exp_id in RESULTS:
             tr.write_line("")
             tr.write_line(format_fig_table(exp_id, RESULTS[exp_id]))
+            tr.write_line(f"wrote {write_bench_json(exp_id, RESULTS[exp_id])}")
     if "table3" in RESULTS:
         tr.write_line("")
         tr.write_line(format_table3(RESULTS["table3"]))

@@ -18,8 +18,10 @@ freshly imported documents.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from dataclasses import dataclass
 
 sys.path.insert(0, os.path.dirname(__file__))
@@ -112,6 +114,47 @@ def run_query(db: Database, query: str, plan: str, options: EvalOptions | None =
     return session_for(db).execute(query, doc="xmark", plan=plan, options=options)
 
 
+def run_query_timed(
+    db: Database, query: str, plan: str, options: EvalOptions | None = None
+) -> tuple[Result, float]:
+    """One cold execution plus its *wall-clock* duration in seconds.
+
+    The simulated clock measures the modelled disk; the wall clock
+    measures this implementation.  Both land in ``BENCH_<figure>.json``
+    so regressions in either dimension are visible.
+    """
+    t0 = time.perf_counter()
+    result = run_query(db, query, plan, options)
+    return result, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------- BENCH_*.json
+
+#: Consolidated result files land in the repository root (CI uploads
+#: them as artifacts; see .github/workflows/ci.yml).
+BENCH_OUTPUT_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+
+def write_bench_json(exp_id: str, rows: list[dict], directory: str | None = None) -> str:
+    """Write one figure's consolidated results to ``BENCH_<exp_id>.json``.
+
+    Each row carries at least ``scale``, ``plan`` and the simulated
+    ``total``; rows produced by :func:`run_query_timed` also carry the
+    ``wall`` clock.  Returns the path written.
+    """
+    path = os.path.join(directory or BENCH_OUTPUT_DIR, f"BENCH_{exp_id}.json")
+    payload = {
+        "experiment": exp_id,
+        "seed": bench_seed(),
+        "time_unit": "seconds",
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return path
+
+
 # ------------------------------------------------------------- formatting
 
 
@@ -167,9 +210,16 @@ def main(argv: list[str]) -> int:
         fig_id = {"q6": "fig9_q6", "q7": "fig10_q7", "q15": "fig11_q15"}[exp_id]
         for scale in scales:
             for plan in PLANS:
-                result = run_query(stores[scale], query, plan)
+                result, wall = run_query_timed(stores[scale], query, plan)
                 fig_rows[fig_id].append(
-                    {"scale": scale, "plan": plan, "total": result.total_time}
+                    {
+                        "scale": scale,
+                        "plan": plan,
+                        "total": result.total_time,
+                        "cpu": result.cpu_time,
+                        "wall": wall,
+                        "pages_read": result.stats.pages_read,
+                    }
                 )
                 if scale == 1.0:
                     table3_rows.append(
@@ -179,6 +229,7 @@ def main(argv: list[str]) -> int:
     for fig_id in ("fig9_q6", "fig10_q7", "fig11_q15"):
         print()
         print(format_fig_table(fig_id, fig_rows[fig_id]))
+        print(f"wrote {write_bench_json(fig_id, fig_rows[fig_id])}")
     if table3_rows:
         print()
         print(format_table3(table3_rows))

@@ -1,0 +1,88 @@
+"""Wall-clock perf smoke: Figure 9 (Q6') at sf=0.1 vs a checked-in baseline.
+
+The simulated clock catches regressions in the modelled physics; this
+script catches regressions in the *implementation* — an accidentally
+quadratic loop or a de-optimised hot path shows up as wall-clock time
+even when the simulated totals stay exact.
+
+Usage::
+
+    python benchmarks/perf_smoke.py                 # compare to baseline
+    python benchmarks/perf_smoke.py --write-baseline  # refresh it
+
+Each plan runs ``ROUNDS`` times and the fastest round counts (the
+minimum is the standard noise-robust statistic for wall-clock smoke
+tests).  The run fails if any plan exceeds ``TOLERANCE`` times its
+baseline.  The baseline (``benchmarks/perf_baseline.json``) is
+deliberately generous — it encodes "not catastrophically slower", not
+"exactly as fast as the author's laptop".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import PLANS, QUERY_BY_EXP, build_xmark_db, run_query
+
+SCALE = 0.1
+ROUNDS = 3
+TOLERANCE = 2.0  # fail on >2x wall-clock regression
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+
+
+def measure() -> dict[str, float]:
+    db = build_xmark_db(SCALE)
+    best: dict[str, float] = {}
+    for plan in PLANS:
+        times = []
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            result = run_query(db, QUERY_BY_EXP["q6"], plan)
+            times.append(time.perf_counter() - t0)
+            assert result.value is not None and result.value > 0
+        best[plan] = min(times)
+    best["total"] = sum(best[plan] for plan in PLANS)
+    return best
+
+
+def main(argv: list[str]) -> int:
+    measured = measure()
+    if "--write-baseline" in argv:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as out:
+            json.dump(
+                {"scale": SCALE, "rounds": ROUNDS, "wall_seconds": measured},
+                out,
+                indent=2,
+                sort_keys=True,
+            )
+            out.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    with open(BASELINE_PATH, encoding="utf-8") as inp:
+        baseline = json.load(inp)["wall_seconds"]
+
+    failed = False
+    print(f"fig9 Q6' sf={SCALE}, best of {ROUNDS} rounds (wall seconds):")
+    for key in (*PLANS, "total"):
+        limit = TOLERANCE * baseline[key]
+        status = "ok" if measured[key] <= limit else "REGRESSION"
+        failed |= status != "ok"
+        print(
+            f"  {key:>10s}  measured={measured[key]:.4f}  "
+            f"baseline={baseline[key]:.4f}  limit={limit:.4f}  {status}"
+        )
+    if failed:
+        print(f"FAIL: wall-clock exceeded {TOLERANCE}x the checked-in baseline")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

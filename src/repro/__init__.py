@@ -53,6 +53,7 @@ from repro.sim.faults import (
     fault_profile,
 )
 from repro.storage.importer import ClusterPolicy, ImportOptions
+from repro.storage.synopsis import ClusterSynopsis
 from repro.xpath.compile import PlanKind
 
 __version__ = "1.0.0"
@@ -83,6 +84,7 @@ __all__ = [
     "SchedulingPolicy",
     "ImportOptions",
     "ClusterPolicy",
+    "ClusterSynopsis",
     "PlanKind",
     "ReproError",
     "StorageError",

@@ -107,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         "heatmap, retry histogram) derived from the tracer",
     )
     parser.add_argument(
+        "--no-synopsis",
+        action="store_true",
+        help="disable cluster-synopsis pruning (XScan reads every page, "
+        "XSchedule enqueues every crossing), reproducing the paper's "
+        "unpruned I/O behaviour",
+    )
+    parser.add_argument(
         "--latency-slo",
         type=float,
         default=None,
@@ -153,6 +160,8 @@ def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
         kwargs["budget"] = parse_budget(args.budget)
     if args.latency_slo is not None:
         kwargs["latency_slo"] = args.latency_slo
+    if args.no_synopsis:
+        kwargs["synopsis"] = False
     return EvalOptions(**kwargs) if kwargs else None
 
 

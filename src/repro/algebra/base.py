@@ -19,6 +19,8 @@ from repro.errors import PlanError
 class Operator:
     """Base class for all physical operators."""
 
+    __slots__ = ("ctx", "_iter", "_trace_t0", "_trace_out")
+
     def __init__(self, ctx: EvalContext) -> None:
         self.ctx = ctx
         self._iter: Iterator[PathInstance] | None = None

@@ -116,7 +116,7 @@ def _exists_matching(
     for candidate_page, candidate_slot in full_axis(ctx, page_no, slot, step.axis):
         record = ctx.segment.page(candidate_page).record(candidate_slot)
         ctx.charge_test()
-        if not step.test.matches(int(record.kind), record.tag):
+        if not step.match(record.kind, record.tag):
             continue
         if any(
             not predicate_holds(ctx, candidate_page, candidate_slot, nested)
@@ -145,7 +145,7 @@ def exists_path(ctx: EvalContext, page_no: int, slot: int, steps: list[CompiledS
     for candidate_page, candidate_slot in full_axis(ctx, page_no, slot, step.axis):
         record = ctx.segment.page(candidate_page).record(candidate_slot)
         ctx.charge_test()
-        if not step.test.matches(int(record.kind), record.tag):
+        if not step.match(record.kind, record.tag):
             continue
         if any(
             not predicate_holds(ctx, candidate_page, candidate_slot, nested)

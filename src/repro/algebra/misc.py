@@ -19,6 +19,8 @@ class ContextScan(Operator):
     context node (paper Sec. 5.1 / input spec of XSchedule and XScan).
     """
 
+    __slots__ = ("contexts",)
+
     def __init__(self, ctx: EvalContext, contexts: Sequence[NodeID]) -> None:
         super().__init__(ctx)
         self.contexts = list(contexts)
@@ -43,6 +45,8 @@ class DuplicateElimination(Operator):
     The Simple method needs this as a final operator (Sec. 5.1); the
     XAssembly plans get it for free through R.
     """
+
+    __slots__ = ("producer",)
 
     def __init__(self, ctx: EvalContext, producer: Operator) -> None:
         super().__init__(ctx)

@@ -29,10 +29,13 @@ from repro.errors import BudgetExceededError, PlanError
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.store import StoredDocument
+from repro.storage.synopsis import cost_effective_skips
 
 
 class _Replay(Operator):
     """Producer replaying a fixed batch of instances (one cluster's feed)."""
+
+    __slots__ = ("items",)
 
     def __init__(self, ctx: EvalContext, items: list[PathInstance]) -> None:
         super().__init__(ctx)
@@ -44,6 +47,8 @@ class _Replay(Operator):
 
 class _PathState:
     """Per-path machinery persisting across clusters."""
+
+    __slots__ = ("steps", "assembly", "results")
 
     def __init__(self, ctx: EvalContext, steps, descendant_root_opt: bool) -> None:
         self.steps = steps
@@ -88,9 +93,29 @@ def shared_scan(
     ]
     root = document.root
     context_cluster = page_of(root)
+    synopsis = document.synopsis if ctx.options.synopsis else None
+    page_nos = document.page_nos
+    if synopsis is not None:
+        # skip clusters no path can draw a candidate or transit from
+        # (the context cluster always stays in); only runs long enough
+        # to beat the seek their gap induces are actually dropped
+        prunable = [
+            page_no != context_cluster
+            and all(
+                synopsis.prunable_for_scan(page_no, state.steps)
+                for state in states
+            )
+            for page_no in page_nos
+        ]
+        skips = cost_effective_skips(page_nos, prunable, ctx.iosys.disk.geometry)
+        if skips:
+            ctx.stats.synopsis_clusters_pruned += len(skips)
+            if ctx.tracer is not None:
+                ctx.tracer.count("synopsis_clusters_pruned", len(skips))
+            page_nos = [p for p in page_nos if p not in skips]
 
     try:
-        for page_no in document.page_nos:
+        for page_no in page_nos:
             if not ctx.buffer.is_resident(page_no):
                 pass  # synchronous sequential read below (O_DIRECT semantics)
             frame = ctx.buffer.try_fix_resident(page_no)
@@ -117,6 +142,13 @@ def shared_scan(
                         )
                     )
                 for step_index, step in enumerate(state.steps):
+                    if synopsis is not None and not synopsis.can_contribute(
+                        page_no, step
+                    ):
+                        ctx.stats.synopsis_entries_pruned += 1
+                        if ctx.tracer is not None:
+                            ctx.tracer.count("synopsis_entries_pruned")
+                        continue
                     for border_slot in speculative_entries(page, step.axis):
                         ctx.charge_instance()
                         ctx.stats.speculative_instances += 1

@@ -9,6 +9,7 @@ principal node kind resolve correctly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.axes import Axis
 from repro.model.tree import Kind
@@ -64,6 +65,32 @@ class CompiledNodeTest:
         raise ValueError(f"unknown node test kind {test_kind!r}")
 
 
+def _never(kind: int, tag: int) -> bool:
+    return False
+
+
+def compile_match(test: CompiledNodeTest) -> Callable[[int, int], bool]:
+    """Specialise ``test.matches`` into a minimal closure.
+
+    Node tests are evaluated once per candidate record in every hot
+    loop; the generic ``matches`` pays a frozenset membership plus a
+    None-check on each call.  The common shapes (single kind + required
+    tag, single kind + any tag) collapse to one or two int comparisons.
+    """
+    kinds = test.kinds
+    tag = test.tag
+    if not kinds or tag == UNKNOWN_TAG:
+        return _never
+    if len(kinds) == 1:
+        (only,) = kinds
+        if tag is None:
+            return lambda kind, _tag, _k=only: kind == _k
+        return lambda kind, t, _k=only, _t=tag: kind == _k and t == _t
+    if tag is None:
+        return lambda kind, _tag, _ks=kinds: kind in _ks
+    return lambda kind, t, _ks=kinds, _t=tag: kind in _ks and t == _t
+
+
 @dataclass
 class CompiledPredicate:
     """A compiled step predicate (Simple plan only).
@@ -91,3 +118,11 @@ class CompiledStep:
     #: Nested predicates; only the Simple plan evaluates these (the paper
     #: defers nested paths — "more than two incomplete ends").
     predicates: list[CompiledPredicate] = field(default_factory=list)
+    #: Precompiled ``(kind, tag) -> bool`` form of ``test`` for the
+    #: per-record hot loops.
+    match: Callable[[int, int], bool] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.match = compile_match(self.test)

@@ -20,6 +20,8 @@ from repro.algebra.steps import CompiledStep
 class UnnestMap(Operator):
     """Extend complete path instances by one location step."""
 
+    __slots__ = ("producer", "step_index", "step")
+
     def __init__(
         self,
         ctx: EvalContext,
@@ -43,12 +45,13 @@ class UnnestMap(Operator):
     def _produce(self) -> Iterator[PathInstance]:
         ctx = self.ctx
         step = self.step
+        match = step.match
         for p in self.producer:
             assert p.page_no is not None and not p.is_border
             for page_no, slot in full_axis(ctx, p.page_no, p.slot, step.axis):
                 record = ctx.segment.page(page_no).record(slot)
                 ctx.charge_test()
-                if not step.test.matches(int(record.kind), record.tag):
+                if not match(record.kind, record.tag):
                     continue
                 if any(
                     not predicate_holds(ctx, page_no, slot, predicate)

@@ -58,6 +58,17 @@ class _Stored:
 class XAssembly(Operator):
     """Topmost operator of a cost-sensitive path plan."""
 
+    __slots__ = (
+        "producer",
+        "path_len",
+        "schedule",
+        "descendant_root_opt",
+        "_r",
+        "_s",
+        "_s_size",
+        "_ready",
+    )
+
     def __init__(
         self,
         ctx: EvalContext,

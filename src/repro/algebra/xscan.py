@@ -26,10 +26,13 @@ from repro.algebra.steps import CompiledStep
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import make_nodeid, page_of
 from repro.storage.store import StoredDocument
+from repro.storage.synopsis import cost_effective_skips
 
 
 class XScan(Operator):
     """The I/O-performing operator based on a single sequential scan."""
+
+    __slots__ = ("producer", "steps", "document")
 
     def __init__(
         self,
@@ -64,6 +67,30 @@ class XScan(Operator):
             all_contexts.append(y)
 
         page_nos = self.document.page_nos
+        synopsis = self.document.synopsis if ctx.options.synopsis else None
+        if synopsis is not None:
+            # Skip clusters that provably cannot contribute: no pending
+            # context lives there and no step's speculative resume can
+            # yield a candidate or a transit (conservative, so results
+            # are bit-identical to the unpruned scan).  Consulting the
+            # synopsis is planning metadata — no simulated time charged.
+            # Only runs of prunable pages long enough to beat the seek
+            # their gap induces are dropped: skipping an isolated page in
+            # a streaming read costs more than transferring it.
+            steps = self.steps
+            prunable = [
+                page_no not in by_cluster
+                and synopsis.prunable_for_scan(page_no, steps)
+                for page_no in page_nos
+            ]
+            skips = cost_effective_skips(
+                page_nos, prunable, ctx.iosys.disk.geometry
+            )
+            if skips:
+                ctx.stats.synopsis_clusters_pruned += len(skips)
+                if ctx.tracer is not None:
+                    ctx.tracer.count("synopsis_clusters_pruned", len(skips))
+                page_nos = [p for p in page_nos if p not in skips]
         readahead = ctx.options.scan_readahead
         issued = 0
         for index, page_no in enumerate(page_nos):
@@ -97,6 +124,15 @@ class XScan(Operator):
             for step_index, step in enumerate(self.steps):
                 if ctx.fallback:
                     break
+                if synopsis is not None and not synopsis.can_contribute(
+                    page_no, step
+                ):
+                    # no entry of this cluster can extend this step: the
+                    # speculative instances would all come up empty
+                    ctx.stats.synopsis_entries_pruned += 1
+                    if ctx.tracer is not None:
+                        ctx.tracer.count("synopsis_entries_pruned")
+                    continue
                 for border_slot in speculative_entries(frame.page, step.axis):
                     ctx.charge_instance()
                     ctx.stats.speculative_instances += 1

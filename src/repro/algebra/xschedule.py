@@ -35,6 +35,7 @@ from repro.algebra.steps import CompiledStep
 from repro.errors import IOError_
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
+from repro.storage.store import StoredDocument
 
 
 class _QEntry:
@@ -62,6 +63,23 @@ class _QEntry:
 class XSchedule(Operator):
     """The I/O-performing operator based on asynchronous I/O."""
 
+    __slots__ = (
+        "producer",
+        "steps",
+        "speculative",
+        "synopsis",
+        "k",
+        "_q",
+        "_qcount",
+        "_seq",
+        "_visited",
+        "_parked",
+        "_current",
+        "_sidelined",
+        "_dead_tries",
+        "_dead_noted",
+    )
+
     #: synchronous recovery rounds per cluster (each round is a full retry
     #: chain inside ``read_sync``) before the error is surfaced — results
     #: are never silently dropped
@@ -73,12 +91,18 @@ class XSchedule(Operator):
         producer: Operator,
         steps: list[CompiledStep],
         speculative: bool | None = None,
+        document: StoredDocument | None = None,
     ) -> None:
         super().__init__(ctx)
         self.producer = producer
         self.steps = steps
         self.speculative = (
             ctx.options.speculative if speculative is None else speculative
+        )
+        self.synopsis = (
+            document.synopsis
+            if document is not None and ctx.options.synopsis
+            else None
         )
         self.k = ctx.options.k_min_queue
         self._q: dict[int, list[tuple[int, int, _QEntry]]] = {}
@@ -122,6 +146,20 @@ class XSchedule(Operator):
     def _enqueue(self, entry: _QEntry) -> None:
         ctx = self.ctx
         cluster = page_of(entry.target)
+        if (
+            self.synopsis is not None
+            and entry.resumed
+            and not ctx.fallback
+            and entry.s_r < len(self.steps)
+            and not self.synopsis.can_extend(cluster, self.steps[entry.s_r])
+        ):
+            # the target cluster can neither hold a match for the resumed
+            # step nor transit onward: dropping the request is lossless
+            # (consulting the synopsis is planning metadata — free)
+            ctx.stats.synopsis_entries_pruned += 1
+            if ctx.tracer is not None:
+                ctx.tracer.count("synopsis_entries_pruned")
+            return
         if (
             entry.resumed
             and self.speculative
@@ -326,7 +364,14 @@ class XSchedule(Operator):
         """Left-incomplete instances for every entry border of ``page``."""
         ctx = self.ctx
         page_no = page.page_no
+        synopsis = self.synopsis
         for step_index, step in enumerate(self.steps):
+            if synopsis is not None and not synopsis.can_contribute(page_no, step):
+                # no entry of this cluster can extend this step
+                ctx.stats.synopsis_entries_pruned += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.count("synopsis_entries_pruned")
+                continue
             for border_slot in speculative_entries(page, step.axis):
                 ctx.charge_instance()
                 ctx.stats.speculative_instances += 1

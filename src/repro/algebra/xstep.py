@@ -26,6 +26,8 @@ from repro.storage.nav import iter_axis, iter_resume
 class XStep(Operator):
     """Extend path instances by step ``step_index`` without leaving the cluster."""
 
+    __slots__ = ("producer", "step_index", "step")
+
     def __init__(
         self,
         ctx: EvalContext,
@@ -77,46 +79,69 @@ class XStep(Operator):
             nav = iter_resume(page, p.slot, self.step.axis, ctx.charge_hop)
         else:
             nav = iter_axis(page, p.slot, self.step.axis, ctx.charge_hop)
-        test = self.step.test
+        test = self.step.match
+        # the innermost loop of every navigational plan: bind everything
+        # once and inline charge_test/charge_instance (same simulated
+        # amounts, no method-call overhead per candidate)
+        records = page.records
+        page_no = page.page_no
+        clock = ctx.clock
+        stats = ctx.stats
+        tracer = ctx.tracer
+        cost_test = ctx._cost_test
+        cost_instance = ctx._cost_instance
+        s_l, n_l, left_open = p.s_l, p.n_l, p.left_open
+        step_index = self.step_index
         for is_border, slot in nav:
             if is_border:
-                ctx.stats.border_crossings_deferred += 1
-                if ctx.tracer is not None:
-                    ctx.tracer.count("border_crossings_deferred")
-                ctx.charge_instance()
+                stats.border_crossings_deferred += 1
+                stats.instances_created += 1
+                clock.now += cost_instance
+                clock.cpu_time += cost_instance
+                if tracer is not None:
+                    tracer.count("border_crossings_deferred")
+                    tracer.count("instances_created")
                 yield PathInstance(
-                    s_l=p.s_l,
-                    n_l=p.n_l,
-                    left_open=p.left_open,
-                    s_r=self.step_index - 1,
+                    s_l=s_l,
+                    n_l=n_l,
+                    left_open=left_open,
+                    s_r=step_index - 1,
                     slot=slot,
                     is_border=True,
-                    page_no=page.page_no,
+                    page_no=page_no,
                 )
             else:
-                record = page.record(slot)
-                ctx.charge_test()
-                if test.matches(int(record.kind), record.tag):
-                    ctx.charge_instance()
+                record = records[slot]
+                clock.now += cost_test
+                clock.cpu_time += cost_test
+                stats.node_tests += 1
+                if tracer is not None:
+                    tracer.count("node_tests")
+                if test(record.kind, record.tag):
+                    clock.now += cost_instance
+                    clock.cpu_time += cost_instance
+                    stats.instances_created += 1
+                    if tracer is not None:
+                        tracer.count("instances_created")
                     yield PathInstance(
-                        s_l=p.s_l,
-                        n_l=p.n_l,
-                        left_open=p.left_open,
-                        s_r=self.step_index,
+                        s_l=s_l,
+                        n_l=n_l,
+                        left_open=left_open,
+                        s_r=step_index,
                         slot=slot,
                         is_border=False,
-                        page_no=page.page_no,
+                        page_no=page_no,
                     )
 
     def _extend_full(self, p: PathInstance) -> Iterator[PathInstance]:
         """Fallback: unrestricted navigation, as an Unnest-Map would do."""
         ctx = self.ctx
         assert p.page_no is not None
-        test = self.step.test
+        test = self.step.match
         for page_no, slot in full_axis(ctx, p.page_no, p.slot, self.step.axis, resumed=p.resumed):
             record = ctx.segment.page(page_no).record(slot)
             ctx.charge_test()
-            if test.matches(int(record.kind), record.tag):
+            if test(int(record.kind), record.tag):
                 ctx.charge_instance()
                 yield PathInstance(
                     s_l=p.s_l,

@@ -322,7 +322,7 @@ class Database:
         stored records unless ``collect_statistics`` is False.
         """
         from repro.storage.persist import load_store
-        from repro.storage.store import recollect_statistics
+        from repro.storage.store import recollect_statistics, recollect_synopsis
 
         store = load_store(path)
         db = cls(
@@ -339,6 +339,8 @@ class Database:
         if collect_statistics:
             for doc in store.documents.values():
                 recollect_statistics(store, doc)
+                if doc.synopsis is None:  # version-1 file without a synopsis
+                    recollect_synopsis(store, doc)
         return db
 
     # -------------------------------------------------------------- export

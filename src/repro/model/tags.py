@@ -10,6 +10,8 @@ Two pseudo-tags are pre-interned so that *every* node carries a tag id:
 
 from __future__ import annotations
 
+import sys
+
 DOCUMENT_TAG_NAME = "#document"
 TEXT_TAG_NAME = "#text"
 
@@ -33,6 +35,10 @@ class TagDictionary:
         """Return the id for ``name``, allocating a new one if needed."""
         tag = self._by_name.get(name)
         if tag is None:
+            # sys.intern makes repeated dictionary probes on the parse
+            # path pointer comparisons and dedups the many copies of the
+            # same tag string an XML parse produces
+            name = sys.intern(name)
             tag = len(self._by_id)
             self._by_name[name] = tag
             self._by_id.append(name)

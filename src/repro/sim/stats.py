@@ -62,6 +62,11 @@ class Stats:
     duplicates_suppressed: int = 0
     fallbacks: int = 0
     clusters_visited: int = 0
+    synopsis_clusters_pruned: int = 0  #: clusters XScan skipped via the synopsis
+    #: per-step extensions dropped via the synopsis: queue requests
+    #: XSchedule declined to enqueue, and (page, step) speculation
+    #: rounds XScan skipped on pages it still had to read
+    synopsis_entries_pruned: int = 0
 
     def merge(self, other: "Stats") -> None:
         """Add every counter of ``other`` into this bundle."""

@@ -47,6 +47,18 @@ class Frame:
 class BufferManager:
     """Fixed-capacity page buffer over a segment and the I/O subsystem."""
 
+    __slots__ = (
+        "segment",
+        "iosys",
+        "clock",
+        "costs",
+        "capacity",
+        "stats",
+        "tracer",
+        "_frames",
+        "_tick",
+    )
+
     def __init__(
         self,
         segment: Segment,

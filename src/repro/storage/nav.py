@@ -67,24 +67,28 @@ def iter_axis(page: Page, slot: int, axis: Axis, charge: Charge) -> Iterator[Nav
 
 
 def _iter_child_list(page: Page, slots: list[int], charge: Charge) -> Iterator[NavResult]:
+    records = page.records
     for child_slot in slots:
         charge()
-        entry = page.record(child_slot)
-        yield (isinstance(entry, BorderRecord), child_slot)
+        yield (records[child_slot].is_border, child_slot)
 
 
 def _iter_descendants(page: Page, record: CoreRecord, charge: Charge) -> Iterator[NavResult]:
     """Preorder DFS below ``record`` within this page."""
-    stack = list(reversed(record.child_slots))
+    records = page.records
+    stack = record.child_slots[::-1]
+    pop = stack.pop
     while stack:
-        child_slot = stack.pop()
+        child_slot = pop()
         charge()
-        entry = page.record(child_slot)
-        if isinstance(entry, BorderRecord):
+        entry = records[child_slot]
+        if entry.is_border:
             yield (True, child_slot)
             continue
         yield (False, child_slot)
-        stack.extend(reversed(entry.child_slots))
+        children = entry.child_slots
+        if children:
+            stack.extend(children[::-1])
 
 
 def _iter_parent(page: Page, record: CoreRecord, charge: Charge) -> Iterator[NavResult]:
@@ -97,14 +101,15 @@ def _iter_parent(page: Page, record: CoreRecord, charge: Charge) -> Iterator[Nav
 
 
 def _iter_ancestors(page: Page, record: CoreRecord, charge: Charge) -> Iterator[NavResult]:
+    records = page.records
     current = record
     while True:
         parent_slot = current.parent_slot
         if parent_slot < 0:
             return
         charge()
-        entry = page.record(parent_slot)
-        if isinstance(entry, BorderRecord):
+        entry = records[parent_slot]
+        if entry.is_border:
             yield (True, parent_slot)
             return
         yield (False, parent_slot)

@@ -24,10 +24,17 @@ Format (all integers little-endian)::
     catalog:  u32 count | count x document
     document: str name | u64 root | u32 n_pages | page_nos
               | u64 n_nodes | u32 borders | u32 continuations
+              | synopsis                                     (version >= 2)
+    synopsis: u8 present | (u32 n_rows | n_rows x row)?
+    row:      u32 page_no | bitset tag_bits | bitset entry_bits
+              | u8 flags | u32 occupancy
+    bitset:   u16 n_bytes | n_bytes little-endian bytes
 
-Statistics and import results are not persisted; use
-:func:`repro.storage.store.recollect_statistics` after loading if the
-AUTO plan chooser should have statistics.
+Version 1 files (no synopsis block) still load; their documents come
+back with ``synopsis=None``.  Statistics and import results are not
+persisted; use :func:`repro.storage.store.recollect_statistics` /
+:func:`~repro.storage.store.recollect_synopsis` after loading if the
+AUTO plan chooser and the pruning layers should have them.
 """
 
 from __future__ import annotations
@@ -43,9 +50,11 @@ from repro.storage.ordpath import OrdPath
 from repro.storage.page import Page
 from repro.storage.record import BorderRecord, CoreRecord
 from repro.storage.store import DocumentStore, StoredDocument
+from repro.storage.synopsis import ClusterSynopsis
 
 _MAGIC = b"RPRO"
-_VERSION = 1
+_VERSION = 2
+_MIN_VERSION = 1
 
 
 def _write_str(out: BinaryIO, text: str) -> None:
@@ -75,6 +84,47 @@ def _read_value(inp: BinaryIO) -> str | None:
         return None
     (length,) = struct.unpack("<I", inp.read(4))
     return inp.read(length).decode("utf-8")
+
+
+def _write_bitset(out: BinaryIO, bits: int) -> None:
+    data = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+    out.write(struct.pack("<H", len(data)))
+    out.write(data)
+
+
+def _read_bitset(inp: BinaryIO) -> int:
+    (length,) = struct.unpack("<H", inp.read(2))
+    return int.from_bytes(inp.read(length), "little")
+
+
+def _write_synopsis(out: BinaryIO, synopsis: ClusterSynopsis | None) -> None:
+    if synopsis is None:
+        out.write(b"\x00")
+        return
+    out.write(b"\x01")
+    rows = synopsis.rows()
+    out.write(struct.pack("<I", len(rows)))
+    for page_no in sorted(rows):
+        tag_bits, entry_bits, flags, occupancy = rows[page_no]
+        out.write(struct.pack("<I", page_no))
+        _write_bitset(out, tag_bits)
+        _write_bitset(out, entry_bits)
+        out.write(struct.pack("<BI", flags, occupancy))
+
+
+def _read_synopsis(inp: BinaryIO) -> ClusterSynopsis | None:
+    present = inp.read(1)
+    if present == b"\x00":
+        return None
+    (n_rows,) = struct.unpack("<I", inp.read(4))
+    rows: dict[int, tuple[int, int, int, int]] = {}
+    for _ in range(n_rows):
+        (page_no,) = struct.unpack("<I", inp.read(4))
+        tag_bits = _read_bitset(inp)
+        entry_bits = _read_bitset(inp)
+        flags, occupancy = struct.unpack("<BI", inp.read(5))
+        rows[page_no] = (tag_bits, entry_bits, flags, occupancy)
+    return ClusterSynopsis.from_rows(rows)
 
 
 def _write_record(out: BinaryIO, record) -> None:
@@ -162,6 +212,7 @@ def save_store(store: DocumentStore, path: str) -> None:
             out.write(
                 struct.pack("<QII", doc.n_nodes, doc.n_border_pairs, doc.n_continuations)
             )
+            _write_synopsis(out, doc.synopsis)
 
 
 def load_store(path: str) -> DocumentStore:
@@ -170,7 +221,7 @@ def load_store(path: str) -> DocumentStore:
         if inp.read(4) != _MAGIC:
             raise StorageError(f"{path} is not a repro store file")
         version, page_size = struct.unpack("<HI", inp.read(6))
-        if version != _VERSION:
+        if not _MIN_VERSION <= version <= _VERSION:
             raise StorageError(f"unsupported store version {version}")
         store = DocumentStore(page_size)
         (n_tags,) = struct.unpack("<I", inp.read(4))
@@ -198,6 +249,7 @@ def load_store(path: str) -> DocumentStore:
             root, n_page_nos = struct.unpack("<QI", inp.read(12))
             page_nos = list(struct.unpack(f"<{n_page_nos}I", inp.read(4 * n_page_nos)))
             n_nodes, borders, continuations = struct.unpack("<QII", inp.read(16))
+            synopsis = _read_synopsis(inp) if version >= 2 else None
             store.documents[name] = StoredDocument(
                 name=name,
                 root=NodeID(root),
@@ -207,5 +259,6 @@ def load_store(path: str) -> DocumentStore:
                 n_continuations=continuations,
                 import_result=None,  # type: ignore[arg-type]
                 statistics=None,
+                synopsis=synopsis,
             )
         return store

@@ -46,6 +46,10 @@ class CoreRecord:
 
     __slots__ = ("kind", "tag", "ordpath", "parent_slot", "child_slots", "value")
 
+    #: Class attribute, not a property: the navigation fast paths test it
+    #: per record and a descriptor call there is measurable.
+    is_border = False
+
     def __init__(
         self,
         kind: Kind,
@@ -63,10 +67,6 @@ class CoreRecord:
         #: Slots of children in document order (core or down-border records).
         self.child_slots: list[int] = []
         self.value = value
-
-    @property
-    def is_border(self) -> bool:
-        return False
 
     def size(self) -> int:
         """Simulated byte footprint of this record."""
@@ -96,6 +96,8 @@ class BorderRecord:
 
     __slots__ = ("companion", "local_slot", "down", "continuation", "child_slots")
 
+    is_border = True
+
     def __init__(
         self,
         companion: NodeID | None,
@@ -119,10 +121,6 @@ class BorderRecord:
         #: For the upward side of a continuation: the remainder of the
         #: parent's child list (core slots / border slots on this page).
         self.child_slots = child_slots
-
-    @property
-    def is_border(self) -> bool:
-        return True
 
     def target(self) -> NodeID:
         """The companion border's NodeID — the paper's ``target(x)``."""

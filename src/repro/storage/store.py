@@ -19,6 +19,7 @@ from repro.storage.importer import ImportOptions, ImportResult, import_tree
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.page import Segment
 from repro.storage.record import BorderRecord, CoreRecord
+from repro.storage.synopsis import ClusterSynopsis
 
 
 @dataclass
@@ -82,6 +83,9 @@ class StoredDocument:
     n_continuations: int
     import_result: ImportResult = field(repr=False)
     statistics: DocumentStatistics | None = field(default=None, repr=False)
+    #: Per-cluster structural summary; None disables synopsis pruning
+    #: (structural updates invalidate it until recollected).
+    synopsis: ClusterSynopsis | None = field(default=None, repr=False)
 
     @property
     def n_pages(self) -> int:
@@ -125,6 +129,7 @@ class DocumentStore:
             n_continuations=result.n_continuations,
             import_result=result,
             statistics=DocumentStatistics.collect(tree),
+            synopsis=ClusterSynopsis.collect(result.pages),
         )
         self.documents[name] = doc
         return doc
@@ -191,6 +196,20 @@ def recollect_statistics(store: DocumentStore, doc: StoredDocument) -> DocumentS
     doc.statistics = statistics
     doc.n_nodes = n_nodes
     return statistics
+
+
+def recollect_synopsis(store: DocumentStore, doc: StoredDocument) -> ClusterSynopsis:
+    """Rebuild the per-cluster synopsis from the physical pages.
+
+    Used after loading a store whose format predates the synopsis and
+    after structural updates (which invalidate the import-time synopsis
+    the same way they invalidate statistics).
+    """
+    synopsis = ClusterSynopsis.collect(
+        store.segment.page(page_no) for page_no in doc.page_nos
+    )
+    doc.synopsis = synopsis
+    return synopsis
 
 
 def check_document(store: DocumentStore, doc: StoredDocument) -> None:

@@ -579,9 +579,12 @@ def update_value(store: DocumentStore, nid: NodeID, value: str) -> None:
 
 
 def _invalidate_statistics(doc: StoredDocument) -> None:
-    """Schema statistics are import-time snapshots; drop them on update.
+    """Schema statistics and the cluster synopsis are import-time
+    snapshots; drop both on structural update.
 
     The AUTO plan chooser then degrades to its statistics-free default
-    until the document is re-imported (or statistics recollected).
+    and synopsis pruning disables itself until the document is
+    re-imported (or statistics/synopsis recollected).
     """
     doc.statistics = None
+    doc.synopsis = None

@@ -180,7 +180,7 @@ class CompiledPathPlan:
                 top = UnnestMap(ctx, top, index, step)
             return DuplicateElimination(ctx, top)
         if self.kind is PlanKind.XSCHEDULE:
-            schedule = XSchedule(ctx, source, self.steps)
+            schedule = XSchedule(ctx, source, self.steps, document=self.document)
             top = schedule
             for index, step in enumerate(self.steps, start=1):
                 top = XStep(ctx, top, index, step)
@@ -445,7 +445,9 @@ def compile_query(
             steps = _rewrite_descendant(steps)
         resolved = kind
         if resolved is PlanKind.AUTO:
-            resolved = PlanKind(choose_io_operator(document, steps, geo))
+            resolved = PlanKind(
+                choose_io_operator(document, steps, geo, use_synopsis=opts.synopsis)
+            )
         desc_root_opt = (
             opts.descendant_root_opt
             and resolved in (PlanKind.XSCAN, PlanKind.XSCAN_SHARED)

@@ -102,6 +102,7 @@ def choose_io_operator(
     document: StoredDocument,
     steps: list[CompiledStep],
     geometry: DiskGeometry,
+    use_synopsis: bool = True,
 ) -> str:
     """Return ``"xscan"`` or ``"xschedule"`` by estimated I/O cost.
 
@@ -109,14 +110,30 @@ def choose_io_operator(
     roughly one page per cluster the path's candidate nodes occupy, at
     random-access cost.  The cheaper side wins; ties favour XSchedule
     (no speculative CPU overhead).
+
+    When the document carries a cluster synopsis (and ``use_synopsis``
+    is on), the visited-page estimate uses the measured mean cluster
+    occupancy instead of a uniform nodes-per-page guess, and is capped
+    by the number of clusters that can actually hold a candidate for
+    some step — the fix for skewed layouts where a tag concentrates in
+    a few clusters but the uniform estimate spreads it evenly.
     """
     stats = document.statistics
     if stats is None:
         return "xschedule"
     estimate = estimate_path(stats, steps)
     n_pages = document.n_pages
-    nodes_per_page = max(1.0, stats.n_nodes / max(1, n_pages))
-    visited_pages = min(float(n_pages), estimate.visited_nodes / nodes_per_page)
+    synopsis = document.synopsis if use_synopsis else None
+    if synopsis is not None and synopsis.n_clusters:
+        nodes_per_page = synopsis.mean_occupancy()
+        visited_pages = min(
+            float(n_pages),
+            float(synopsis.relevant_clusters(steps)),
+            estimate.visited_nodes / nodes_per_page,
+        )
+    else:
+        nodes_per_page = max(1.0, stats.n_nodes / max(1, n_pages))
+        visited_pages = min(float(n_pages), estimate.visited_nodes / nodes_per_page)
     sequential_cost = n_pages * geometry.transfer_time
     random_unit = (
         geometry.seek_time(max(1, n_pages // 3))

@@ -74,12 +74,63 @@ def test_speculative_and_fallback_agree(xmark_small, reference, exp_id, label, q
 
 
 def test_xscan_reads_every_page_sequentially(xmark_small):
+    # the paper's unpruned behaviour, reproduced with the synopsis off
     db, _ = xmark_small
     doc = db.document("xmark")
-    result = db.execute(Q6_PRIME, doc="xmark", plan="xscan")
+    result = db.execute(
+        Q6_PRIME, doc="xmark", plan="xscan", options=EvalOptions(synopsis=False)
+    )
     assert result.stats.pages_read == doc.n_pages
     assert result.stats.sequential_reads == doc.n_pages
     assert result.stats.seeks == 0
+    assert result.stats.synopsis_clusters_pruned == 0
+
+
+def test_xscan_synopsis_prunes_but_preserves_results(xmark_small):
+    """On the fixture's fully shuffled layout the cost-aware planner
+    streams through the scattered prunable pages (a skip would trade a
+    cheap transfer for a seek) but skips their speculation rounds: the
+    answer is unchanged and simulated time strictly improves."""
+    db, _ = xmark_small
+    doc = db.document("xmark")
+    pruned = db.execute(Q6_PRIME, doc="xmark", plan="xscan")
+    unpruned = db.execute(
+        Q6_PRIME, doc="xmark", plan="xscan", options=EvalOptions(synopsis=False)
+    )
+    assert pruned.value == unpruned.value
+    stats = pruned.stats
+    assert stats.synopsis_entries_pruned > 0
+    assert stats.pages_read + stats.synopsis_clusters_pruned == doc.n_pages
+    assert stats.pages_read <= unpruned.stats.pages_read
+    assert pruned.total_time < unpruned.total_time
+
+
+def test_xscan_synopsis_skips_clusters_on_document_order_layout():
+    """On a document-order layout the dead regions are contiguous, so
+    whole runs of prunable pages clear the skip-scan break-even and are
+    never read at all."""
+    from repro import Database, ImportOptions
+    from repro.xmark import generate_xmark
+
+    db = Database(page_size=2048, buffer_pages=128)
+    tree = generate_xmark(scale=0.05, tags=db.tags, seed=3)
+    db.add_tree(
+        tree, "xmark", ImportOptions(page_size=2048, fragmentation=0.0, seed=3)
+    )
+    doc = db.document("xmark")
+    # a selective child path: the africa region is one contiguous stretch
+    # of the document, everything else is provably dead for the scan
+    query = "count(/site/regions/africa/item/description/parlist/listitem)"
+    pruned = db.execute(query, doc="xmark", plan="xscan")
+    unpruned = db.execute(
+        query, doc="xmark", plan="xscan", options=EvalOptions(synopsis=False)
+    )
+    assert pruned.value == unpruned.value
+    stats = pruned.stats
+    assert stats.synopsis_clusters_pruned > 0
+    assert stats.pages_read + stats.synopsis_clusters_pruned == doc.n_pages
+    assert stats.pages_read < unpruned.stats.pages_read
+    assert pruned.total_time < unpruned.total_time
 
 
 def test_xschedule_reads_fewer_pages_than_scan_on_selective_query(xmark_small):

@@ -42,8 +42,10 @@ class PaperTree:
     nodes: dict[str, NodeID]  #: paper names -> NodeIDs (core and border)
 
 
-def build_paper_tree(page_size: int = 512, buffer_pages: int = 8) -> PaperTree:
-    db = Database(page_size=page_size, buffer_pages=buffer_pages)
+def build_paper_tree(
+    page_size: int = 512, buffer_pages: int = 8, geometry=None
+) -> PaperTree:
+    db = Database(page_size=page_size, buffer_pages=buffer_pages, geometry=geometry)
     tags = db.tags
     tag_a, tag_b, tag_c, tag_x = (tags.intern(t) for t in ("A", "B", "C", "X"))
     doc_tag = tags.intern("#document")  # pre-interned pseudo tag (id 0)

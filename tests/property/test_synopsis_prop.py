@@ -1,0 +1,124 @@
+"""Property: synopsis pruning is invisible except in the I/O counters.
+
+For any random document, physical layout, location path (every axis),
+physical plan and fault profile, executing with the cluster synopsis on
+returns bit-identical results to executing with it off.  When the run
+prunes nothing, the whole ``Stats`` dict is identical tick-for-tick;
+when it does prune, only fewer pages are read — and for XScan every
+skipped page is accounted for by the pruned-clusters counter.
+"""
+
+import dataclasses
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PROFILES, Database, EvalOptions, ImportOptions
+from tests.conftest import make_random_tree
+
+AXES = [
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "self",
+    "parent",
+    "ancestor",
+    "ancestor-or-self",
+    "following-sibling",
+    "preceding-sibling",
+]
+TESTS = ["a", "b", "c", "nosuchtag", "*", "node()", "text()"]
+
+_PRUNE_COUNTERS = ("synopsis_clusters_pruned", "synopsis_entries_pruned")
+
+
+@st.composite
+def location_paths(draw):
+    n_steps = draw(st.integers(min_value=1, max_value=4))
+    steps = [
+        f"{draw(st.sampled_from(AXES))}::{draw(st.sampled_from(TESTS))}"
+        for _ in range(n_steps)
+    ]
+    return "/" + "/".join(steps)
+
+
+_STORE_CACHE: dict = {}
+
+
+def _store(seed: int, fragmentation: float):
+    key = (seed, fragmentation)
+    if key not in _STORE_CACHE:
+        db = Database(page_size=512, buffer_pages=48)
+        tree = make_random_tree(db.tags, seed=seed, n_top=25)
+        db.add_tree(
+            tree,
+            "d",
+            ImportOptions(page_size=512, fragmentation=fragmentation, seed=seed),
+        )
+        _STORE_CACHE[key] = db.store
+    return _STORE_CACHE[key]
+
+
+def _outcome(result):
+    if result.value is not None:
+        return ("value", result.value)
+    return ("nodes", tuple(result.nodes))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=7),
+    fragmentation=st.sampled_from([0.0, 0.7, 1.0]),
+    plan=st.sampled_from(["simple", "xschedule", "xscan"]),
+    speculative=st.booleans(),
+    path=location_paths(),
+)
+def test_pruned_run_equals_unpruned_run(seed, fragmentation, plan, speculative, path):
+    store = _store(seed, fragmentation)
+    results = {}
+    for synopsis in (True, False):
+        db = Database(page_size=512, buffer_pages=48, store=store)
+        options = EvalOptions(speculative=speculative, synopsis=synopsis)
+        results[synopsis] = db.execute(path, doc="d", plan=plan, options=options)
+    on, off = results[True], results[False]
+    assert _outcome(on) == _outcome(off)
+    stats_on, stats_off = on.stats.as_dict(), off.stats.as_dict()
+    for counter in _PRUNE_COUNTERS:
+        assert stats_off.pop(counter) == 0
+    pruned_clusters = stats_on.pop("synopsis_clusters_pruned")
+    pruned_entries = stats_on.pop("synopsis_entries_pruned")
+    if pruned_clusters == 0 and pruned_entries == 0:
+        # nothing pruned: the two executions must be bit-identical
+        assert stats_on == stats_off
+        assert on.total_time == off.total_time
+    else:
+        # pruning may only ever remove I/O
+        assert stats_on["pages_read"] <= stats_off["pages_read"]
+    if plan == "xscan" and on.stats.fallbacks == 0:
+        # every page is either read or provably skipped (the scan reads
+        # the whole document when unpruned)
+        assert (
+            stats_on["pages_read"] + pruned_clusters == stats_off["pages_read"]
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    plan=st.sampled_from(["xschedule", "xscan"]),
+    profile_name=st.sampled_from([n for n in PROFILES if n != "none"]),
+    fault_seed=st.integers(min_value=0, max_value=25),
+    path=location_paths(),
+)
+def test_pruning_is_sound_under_faults(plan, profile_name, fault_seed, path):
+    """Retries, latency spikes and lost requests never interact badly
+    with pruning: the answer still matches the unpruned fault-free run."""
+    store = _store(3, 0.7)
+    profile = dataclasses.replace(PROFILES[profile_name], seed=fault_seed)
+    baseline = Database(page_size=512, buffer_pages=48, store=store).execute(
+        path, doc="d", plan=plan, options=EvalOptions(synopsis=False)
+    )
+    faulty = Database(
+        page_size=512, buffer_pages=48, store=store, faults=profile
+    ).execute(path, doc="d", plan=plan)
+    assert _outcome(faulty) == _outcome(baseline)

@@ -53,7 +53,12 @@ def test_update_storm_soundness(storm):
         elif action < 0.7:
             texts = db.execute("//text()", doc="d", plan="simple").nodes
             if texts:
-                update_value(db.store, rng.choice(texts), "u" * rng.randrange(1, 8))
+                try:
+                    update_value(db.store, rng.choice(texts), "u" * rng.randrange(1, 8))
+                except StorageError:
+                    # in-place growth on a full page is documented to
+                    # raise; the storm cares about soundness, not fit
+                    pass
         else:
             victim = rng.choice(elements)
             delete_subtree(db.store, doc, victim)

@@ -1,0 +1,255 @@
+"""Unit tests for the per-cluster synopsis (collection, persistence,
+invalidation, and the paper-example pruning guarantees)."""
+
+import pytest
+
+from repro import Database, DiskGeometry, EvalOptions, ImportOptions
+from repro.axes import Axis
+from repro.algebra.steps import CompiledNodeTest, CompiledStep
+from repro.storage import persist
+from repro.storage.synopsis import (
+    CHILD_TRANSIT,
+    HAS_DOWN,
+    HAS_UPSIDE,
+    ClusterSynopsis,
+    cost_effective_skips,
+)
+from repro.storage.store import recollect_synopsis
+from repro.storage.update import insert_node
+
+from tests.conftest import make_random_tree, small_database
+from tests.paper_tree import PAGE_A, PAGE_B, PAGE_C, PAGE_D, build_paper_tree
+
+
+def _step(tags, axis, name):
+    return CompiledStep(axis, CompiledNodeTest.compile("name", axis, tags.lookup(name)))
+
+
+# ------------------------------------------------------------- collection
+
+
+def test_import_collects_synopsis():
+    db, _ = small_database(seed=71, n_top=40, fragmentation=1.0)
+    doc = db.document("d")
+    synopsis = doc.synopsis
+    assert synopsis is not None
+    assert synopsis.n_clusters == doc.n_pages
+    # occupancy counts every core record exactly once
+    assert synopsis.n_records == doc.n_nodes
+    assert sum(synopsis.occupancy(p) for p in doc.page_nos) == doc.n_nodes
+    assert synopsis.mean_occupancy() >= 1.0
+
+
+def test_recollect_matches_import_time_synopsis():
+    db, _ = small_database(seed=72, n_top=30)
+    doc = db.document("d")
+    collected = doc.synopsis
+    recollected = recollect_synopsis(db.store, doc)
+    assert recollected == collected
+    assert doc.synopsis is recollected
+
+
+def test_paper_tree_rows():
+    paper = build_paper_tree()
+    synopsis = recollect_synopsis(paper.db.store, paper.doc)
+    tags = paper.db.tags
+    tag_a, tag_b, tag_x = (tags.lookup(t) for t in ("A", "B", "X"))
+    rows = synopsis.rows()
+    # cluster a: up-border entering at a2:A; holds A and B
+    tag_bits, entry_bits, flags, occupancy = rows[PAGE_A]
+    assert flags == HAS_UPSIDE
+    assert occupancy == 2
+    assert tag_bits >> tag_a & 1 and tag_bits >> tag_b & 1
+    assert entry_bits == 1 << tag_a
+    # cluster b: up-border entering at b2:X; holds only X
+    tag_bits, entry_bits, flags, occupancy = rows[PAGE_B]
+    assert flags == HAS_UPSIDE
+    assert tag_bits == 1 << tag_x
+    assert entry_bits == 1 << tag_x
+    # cluster d holds the root and three down borders, no up-side entry
+    _, _, flags, _ = rows[PAGE_D]
+    assert flags & HAS_DOWN
+    assert not flags & HAS_UPSIDE
+    assert not flags & CHILD_TRANSIT
+
+
+# ------------------------------------------------- paper example 6 pruning
+
+
+def test_paper_example_never_processes_cluster_b():
+    """Example 6/7: for ``/A//B`` cluster b (one X node) can contribute to
+    neither step — the synopsis proves it.  On a seek-free disk the scan
+    skips the page outright; on the default disk the skip-scan break-even
+    keeps streaming through the isolated 512-byte page (a seek costs more
+    than the transfer) but every speculation round in it is skipped."""
+    paper = build_paper_tree()
+    synopsis = recollect_synopsis(paper.db.store, paper.doc)
+    tags = paper.db.tags
+    child_a = _step(tags, Axis.CHILD, "A")
+    desc_b = _step(tags, Axis.DESCENDANT, "B")
+    assert not synopsis.can_contribute(PAGE_B, child_a)
+    assert not synopsis.can_contribute(PAGE_B, desc_b)
+    assert synopsis.prunable_for_scan(PAGE_B, [child_a, desc_b])
+    # clusters a and c hold B nodes: provably not prunable
+    for page_no in (PAGE_A, PAGE_C):
+        assert synopsis.can_contribute(page_no, desc_b)
+        assert not synopsis.prunable_for_scan(page_no, [child_a, desc_b])
+    # default disk: interior singleton skip loses to the seek, so the
+    # page is read — but no speculative work happens inside it
+    pruned = paper.db.execute("/A//B", doc="paper", plan="xscan")
+    unpruned = paper.db.execute(
+        "/A//B", doc="paper", plan="xscan", options=EvalOptions(synopsis=False)
+    )
+    assert pruned.nodes == unpruned.nodes
+    assert pruned.stats.pages_read == 4
+    assert pruned.stats.synopsis_clusters_pruned == 0
+    assert pruned.stats.synopsis_entries_pruned > 0
+    assert pruned.stats.speculative_instances < unpruned.stats.speculative_instances
+    # seek-free disk: skipping is free, so the scan reads 3 of 4 pages
+    free_seeks = DiskGeometry(
+        page_size=512, min_seek=0.0, seek_factor=0.0, rotational_latency=0.0
+    )
+    cheap = build_paper_tree(geometry=free_seeks)
+    recollect_synopsis(cheap.db.store, cheap.doc)
+    skipped = cheap.db.execute("/A//B", doc="paper", plan="xscan")
+    assert skipped.nodes == unpruned.nodes
+    assert skipped.stats.synopsis_clusters_pruned == 1
+    assert skipped.stats.pages_read == 3
+
+
+def test_cost_effective_skips_break_even():
+    """The skip planner only drops runs whose saved transfers beat the
+    seek+rotation penalty their gap induces."""
+    geo = DiskGeometry()  # 8 KiB pages: transfer ~0.4 ms, seek ~3.4 ms
+    pages = list(range(100))
+    # isolated interior prunable page: cheaper to stream through
+    prunable = [False] * 100
+    prunable[50] = True
+    assert cost_effective_skips(pages, prunable, geo) == set()
+    # a long interior run pays for its seek many times over
+    for i in range(40, 60):
+        prunable[i] = True
+    assert cost_effective_skips(pages, prunable, geo) == set(range(40, 60))
+    # a tail run induces no seek: always skipped
+    prunable = [False] * 100
+    prunable[98] = prunable[99] = True
+    assert cost_effective_skips(pages, prunable, geo) == {98, 99}
+    # a run across a pre-existing hole in the numbering pays its seek
+    # anyway: skipped regardless of length
+    holed = [0, 1, 2, 500, 501]
+    assert cost_effective_skips(holed, [False, False, True, False, False], geo) == {2}
+    # seek-free disk: every prunable page is worth skipping
+    free = DiskGeometry(min_seek=0.0, seek_factor=0.0, rotational_latency=0.0)
+    single = [False] * 100
+    single[50] = True
+    assert cost_effective_skips(pages, single, free) == {50}
+
+
+def test_targeted_resume_is_never_pruned_for_existing_borders():
+    """can_extend must admit every cluster a real crossing targets."""
+    paper = build_paper_tree()
+    synopsis = recollect_synopsis(paper.db.store, paper.doc)
+    tags = paper.db.tags
+    # /A//B crosses into a and c for child::A and descendant::B
+    assert synopsis.can_extend(PAGE_A, _step(tags, Axis.CHILD, "A"))
+    assert synopsis.can_extend(PAGE_C, _step(tags, Axis.CHILD, "A"))
+    assert synopsis.can_extend(PAGE_A, _step(tags, Axis.DESCENDANT, "B"))
+    # but a downward resume into b can prove emptiness for child::A
+    assert not synopsis.can_extend(PAGE_B, _step(tags, Axis.CHILD, "A"))
+
+
+def test_unknown_cluster_is_never_pruned():
+    paper = build_paper_tree()
+    synopsis = recollect_synopsis(paper.db.store, paper.doc)
+    step = _step(paper.db.tags, Axis.DESCENDANT, "B")
+    assert synopsis.can_contribute(999, step)
+    assert synopsis.can_extend(999, step)
+    assert not synopsis.prunable_for_scan(999, [step])
+
+
+# ------------------------------------------------------------ estimators
+
+
+def test_estimator_accessors_on_paper_tree():
+    paper = build_paper_tree()
+    synopsis = recollect_synopsis(paper.db.store, paper.doc)
+    tags = paper.db.tags
+    assert synopsis.clusters_with_tag(tags.lookup("A")) == 2  # a, c
+    assert synopsis.clusters_with_tag(tags.lookup("B")) == 2  # a, c
+    assert synopsis.clusters_with_tag(tags.lookup("X")) == 2  # b, c
+    assert synopsis.clusters_with_tag(-1) == 0
+    steps = [
+        _step(tags, Axis.CHILD, "A"),
+        _step(tags, Axis.DESCENDANT, "B"),
+    ]
+    # context cluster + 2 for child::A + 2 for descendant::B
+    assert synopsis.relevant_clusters(steps) == 4  # capped at n_clusters
+
+
+# ----------------------------------------------------------- persistence
+
+
+def test_synopsis_round_trips_through_persistence(tmp_path):
+    db, _ = small_database(seed=73, n_top=40, fragmentation=1.0)
+    original = db.document("d").synopsis
+    path = str(tmp_path / "store.rpro")
+    db.save(path)
+    loaded = Database.load(path, buffer_pages=64)
+    restored = loaded.document("d").synopsis
+    assert restored is not None
+    assert restored == original
+    assert restored.rows() == original.rows()
+
+
+def test_version1_file_loads_and_recollects(tmp_path, monkeypatch):
+    """A pre-synopsis (v1) store file still loads; the synopsis is
+    rebuilt from the pages on open."""
+    db, _ = small_database(seed=74, n_top=30)
+    original = db.document("d").synopsis
+    path = str(tmp_path / "store-v1.rpro")
+    monkeypatch.setattr(persist, "_VERSION", 1)
+    monkeypatch.setattr(persist, "_write_synopsis", lambda out, synopsis: None)
+    db.save(path)
+    monkeypatch.undo()
+    loaded = Database.load(path, buffer_pages=64)
+    doc = loaded.document("d")
+    assert doc.synopsis is not None  # recollected on load
+    assert doc.synopsis == original
+
+
+def test_from_rows_round_trip():
+    db, _ = small_database(seed=75, n_top=20)
+    synopsis = db.document("d").synopsis
+    clone = ClusterSynopsis.from_rows(synopsis.rows())
+    assert clone == synopsis
+    assert clone.n_records == synopsis.n_records
+
+
+# ---------------------------------------------------------- invalidation
+
+
+def test_update_invalidates_synopsis():
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml("<root><a/><b/></root>", "d")
+    doc = db.document("d")
+    assert doc.synopsis is not None
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    insert_node(db.store, doc, root, 0, "fresh")
+    assert doc.synopsis is None  # stale summaries must not linger
+    rebuilt = recollect_synopsis(db.store, doc)
+    assert rebuilt.clusters_with_tag(db.tags.lookup("fresh")) == 1
+
+
+def test_queries_work_while_synopsis_invalidated():
+    """Between an update and recollection the engine runs unpruned."""
+    db = Database(page_size=512, buffer_pages=32)
+    tree = make_random_tree(db.tags, seed=76, n_top=20)
+    db.add_tree(tree, "d", ImportOptions(page_size=512))
+    doc = db.document("d")
+    baseline = db.execute("count(//a)", doc="d", plan="xscan").value
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    insert_node(db.store, doc, root, 0, "a")
+    assert doc.synopsis is None
+    result = db.execute("count(//a)", doc="d", plan="xscan")
+    assert result.value == baseline + 1
+    assert result.stats.synopsis_clusters_pruned == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, ImportOptions
+from repro import Database, EvalOptions, ImportOptions
 from repro.axes import Axis
 from repro.algebra.steps import CompiledNodeTest, CompiledStep
 from repro.model.builder import tree_from_nested
@@ -127,3 +127,46 @@ def test_chooser_prefers_scan_on_tiny_documents():
     # consistent with the cost inequality it implements
     choice = choose_io_operator(db.document("d"), steps, geo)
     assert choice in ("xscan", "xschedule")
+
+
+def test_synopsis_occupancy_fixes_skewed_layout_choice():
+    """Regression: the uniform nodes-per-page guess mis-chooses on skew.
+
+    The document below has ~120 fat pages (one padded element each) and
+    a few dense pages holding all 600 ``y`` nodes.  The uniform estimate
+    spreads the ``y`` candidates over the whole document, concludes the
+    random reads would touch a large share of the pages and picks the
+    sequential scan.  The synopsis knows every candidate cluster, caps
+    the visited-page estimate at a handful and picks XSchedule — which
+    really is the faster plan.
+    """
+    from repro.storage.importer import ClusterPolicy
+
+    db = Database(page_size=8192, buffer_pages=256)
+    bulk = [("x", ["pad " * 1500]) for _ in range(120)]
+    spec = ("root", bulk + [("h", [("y",) for _ in range(600)])])
+    tree = tree_from_nested(spec, db.tags)
+    db.add_tree(
+        tree, "d", ImportOptions(page_size=8192, policy=ClusterPolicy.SEQUENTIAL)
+    )
+    doc = db.document("d")
+    # the layout really is skewed: all y's in a few clusters
+    assert doc.synopsis.clusters_with_tag(db.tags.lookup("y")) <= 8
+    steps = [
+        step(db, Axis.CHILD, "root"),
+        step(db, Axis.CHILD, "h"),
+        step(db, Axis.CHILD, "y"),
+    ]
+    geo = DiskGeometry()
+    assert choose_io_operator(doc, steps, geo, use_synopsis=False) == "xscan"
+    assert choose_io_operator(doc, steps, geo, use_synopsis=True) == "xschedule"
+    # ground truth: the synopsis-backed choice wins on simulated time
+    scheduled = db.execute("/root/h/y", doc="d", plan="xschedule")
+    scanned = db.execute(
+        "/root/h/y", doc="d", plan="xscan", options=EvalOptions(synopsis=False)
+    )
+    assert scheduled.nodes == scanned.nodes
+    assert scheduled.total_time < scanned.total_time
+    # AUTO follows the synopsis and lands on the cheap plan
+    auto = db.execute("/root/h/y", doc="d", plan="auto")
+    assert [kind.value for kind in auto.plan_kinds] == ["xschedule"]
