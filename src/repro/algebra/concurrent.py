@@ -31,7 +31,7 @@ from repro.storage.nodeid import NodeID, make_nodeid
 from repro.xpath.compile import CompiledPathPlan, CompiledQuery, PlanKind
 
 
-@dataclass
+@dataclass(slots=True)
 class ConcurrentResult:
     """Per-query outcome of a concurrent run."""
 
@@ -42,7 +42,7 @@ class ConcurrentResult:
     finished_at: float  #: simulated time when this query completed
 
 
-@dataclass
+@dataclass(slots=True)
 class ConcurrentOutcome:
     """Aggregate outcome of one concurrent execution."""
 

@@ -14,7 +14,7 @@ from repro.storage.buffer import BufferManager, Frame
 from repro.storage.page import Segment
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionBudget:
     """Hard limits on what one query execution may consume.
 
@@ -64,7 +64,7 @@ class ExecutionBudget:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DegradationEvent:
     """One recorded degradation decision (why, where, when)."""
 
@@ -74,7 +74,7 @@ class DegradationEvent:
     detail: str = ""  #: human-readable specifics
 
 
-@dataclass
+@dataclass(slots=True)
 class DegradationReport:
     """Structured account of every degradation during one execution.
 
@@ -103,7 +103,7 @@ class DegradationReport:
         return f"DegradationReport({self.reasons}{flag}, {len(self.events)} events)"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvalOptions:
     """Tuning knobs of the cost-sensitive operators.
 
@@ -191,6 +191,33 @@ class EvalOptions:
 
 class EvalContext:
     """Everything a plan's operators share during one execution."""
+
+    __slots__ = (
+        "segment",
+        "buffer",
+        "iosys",
+        "clock",
+        "costs",
+        "stats",
+        "options",
+        "tags",
+        "tracer",
+        "current_frame",
+        "fallback",
+        "degradation_events",
+        "fallback_hooks",
+        "_budget",
+        "_budget_error",
+        "_budget_t0",
+        "_budget_pages0",
+        "_budget_retries0",
+        "_cost_hop",
+        "_cost_test",
+        "_cost_instance",
+        "_cost_set",
+        "_cost_queue",
+        "_cost_call",
+    )
 
     def __init__(
         self,

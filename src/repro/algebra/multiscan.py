@@ -21,7 +21,6 @@ from typing import Iterator, Sequence
 
 from repro.algebra.base import Operator
 from repro.algebra.context import EvalContext
-from repro.algebra.misc import ContextScan
 from repro.algebra.pathinstance import PathInstance
 from repro.algebra.xassembly import XAssembly
 from repro.algebra.xstep import XStep

@@ -24,7 +24,7 @@ _KIND_DOCUMENT = int(Kind.DOCUMENT)
 UNKNOWN_TAG = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompiledNodeTest:
     """Kind/tag membership test on candidate nodes."""
 
@@ -91,7 +91,7 @@ def compile_match(test: CompiledNodeTest) -> Callable[[int, int], bool]:
     return lambda kind, t, _ks=kinds, _t=tag: kind in _ks and t == _t
 
 
-@dataclass
+@dataclass(slots=True)
 class CompiledPredicate:
     """A compiled step predicate (Simple plan only).
 
@@ -109,7 +109,7 @@ class CompiledPredicate:
         return (text == self.literal) if self.op == "=" else (text != self.literal)
 
 
-@dataclass
+@dataclass(slots=True)
 class CompiledStep:
     """One location step ready for execution."""
 

@@ -22,7 +22,10 @@ anyway, so no notification is needed (``schedule is None``).
 
 The ``//``-prefix optimisation (Sec. 5.4.5.4) treats every key of step 1
 as present in R without storing it; it is only sound when all clusters
-are guaranteed to be visited, i.e. with an XScan input.
+are guaranteed to be visited (an XScan input) *and* the second step is
+not a sibling axis — sibling steps enter plain up-borders as candidate
+crossings whose junctions are not implied by the ``//`` prefix (the
+compiler disables the flag in that case).
 
 If ``|S|`` exceeds the memory limit, the plan trips into *fallback mode*
 (Sec. 5.4.6): S is discarded, arriving left-incomplete instances are

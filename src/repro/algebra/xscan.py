@@ -24,7 +24,7 @@ from repro.algebra.context import EvalContext
 from repro.algebra.pathinstance import PathInstance
 from repro.algebra.steps import CompiledStep
 from repro.storage.nav import speculative_entries
-from repro.storage.nodeid import make_nodeid, page_of
+from repro.storage.nodeid import make_nodeid
 from repro.storage.store import StoredDocument
 from repro.storage.synopsis import cost_effective_skips
 

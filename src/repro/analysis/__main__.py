@@ -1,0 +1,118 @@
+"""CLI for replint: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 usage/parse error.  ``--json``
+switches the report to a machine-readable document (the shape consumed
+by CI and the test suite); ``--self-check`` lints the installed
+``repro`` package's own source tree, which must come back clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.config import ReplintConfig, load_config
+from repro.analysis.core import Finding, Rule, lint_paths
+from repro.analysis.rules import all_rules, rules_by_id
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="replint: AST-based invariant checker for the repro engine",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON document"
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="lint the installed repro package's own source tree",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.replint] in pyproject.toml; use built-in defaults",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:>16}  {rule.description}")
+        return 0
+    rules = all_rules()
+    if args.rules is not None:
+        catalogue = rules_by_id()
+        wanted = [part.strip() for part in args.rules.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in wanted if rule_id not in catalogue]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [catalogue[rule_id]() for rule_id in wanted]
+    paths = [Path(p) for p in args.paths]
+    if args.self_check:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        paths.append(package_root)
+    if not paths:
+        print("no paths given (try src/repro, or --self-check)", file=sys.stderr)
+        return 2
+    for path in paths:
+        if not path.exists():
+            print(f"no such path: {path}", file=sys.stderr)
+            return 2
+    config = ReplintConfig() if args.no_config else load_config(paths[0].resolve())
+    try:
+        findings = lint_paths(paths, config=config, rules=rules)
+    except SyntaxError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_report(findings, rules), indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        label = "finding" if len(findings) == 1 else "findings"
+        print(f"replint: {len(findings)} {label}")
+    return 1 if findings else 0
+
+
+def _report(findings: list[Finding], rules: list[Rule]) -> dict[str, object]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "findings": [finding.as_dict() for finding in findings],
+        "counts": counts,
+        "total": len(findings),
+        "rules": [rule.id for rule in rules],
+    }
+
+
+if __name__ == "__main__":
+    try:
+        status = main()
+    except BrokenPipeError:
+        # downstream consumer (head, grep -q) closed the pipe; exit
+        # quietly like other unix filters, without a traceback
+        sys.stderr.close()
+        status = 1
+    sys.exit(status)

@@ -1,0 +1,166 @@
+"""The replint framework: findings, suppressions, file walking, rule base.
+
+Rules are small classes over a shared :class:`ast` visit; each parses
+nothing itself — one parse per file feeds every rule.  Findings carry a
+stable rule id so they can be suppressed per line
+(``# replint: disable=<rule>``) or per file
+(``# replint: disable-file=<rule>``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from repro.analysis.config import ReplintConfig
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(r"#\s*replint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)")
+
+
+class Suppressions:
+    """Parsed ``# replint: disable[-file]=...`` comments of one file."""
+
+    __slots__ = ("_by_line", "_file_wide")
+
+    def __init__(self, text: str) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(2).split(",") if part.strip()}
+            if match.group(1) == "disable-file":
+                self._file_wide |= rules
+            else:
+                self._by_line.setdefault(lineno, set()).update(rules)
+
+    def active(self, rule: str, line: int) -> bool:
+        if rule in self._file_wide or "all" in self._file_wide:
+            return True
+        on_line = self._by_line.get(line)
+        return on_line is not None and (rule in on_line or "all" in on_line)
+
+
+class SourceFile:
+    """One parsed source file plus everything rules need about it."""
+
+    __slots__ = ("path", "relpath", "text", "tree", "suppressions")
+
+    def __init__(self, path: Path, relpath: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = tree
+        self.suppressions = Suppressions(text)
+
+
+class Rule:
+    """Base class: one invariant, one stable id, one ``check`` pass."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, src: SourceFile, config: "ReplintConfig") -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, src: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(self.id, str(src.path), int(line), int(col) + 1, message)
+
+
+def scope_relpath(path: Path, root: Path) -> str:
+    """Path of ``path`` relative to the ``repro`` package root, as posix.
+
+    Scope prefixes in the configuration are written relative to the
+    package (``sim/disk.py``), whatever tree the checker was pointed at
+    (``src/repro``, ``src``, a checkout root, or a single file).
+    """
+    try:
+        rel = path.relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    for marker in ("src/repro/", "repro/"):
+        index = rel.rfind(marker)
+        if index != -1:
+            return rel[index + len(marker):]
+    return rel
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[tuple[Path, Path]]:
+    """Yield ``(file, root)`` pairs for every ``.py`` under ``paths``."""
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        elif path.suffix == ".py":
+            yield path, path.parent
+
+
+def load_source(path: Path, root: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceFile(path, scope_relpath(path, root), text, tree)
+
+
+def lint_source(
+    src: SourceFile, rules: Iterable[Rule], config: "ReplintConfig"
+) -> list[Finding]:
+    """Run ``rules`` over one parsed file, honouring scopes + suppressions."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if not config.in_scope(rule.id, src.relpath):
+            continue
+        for finding in rule.check(src, config):
+            if not src.suppressions.active(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    config: "ReplintConfig" | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` with every (or the given) rule."""
+    from repro.analysis.config import ReplintConfig
+    from repro.analysis.rules import all_rules
+
+    cfg = config if config is not None else ReplintConfig()
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for file, root in iter_python_files(Path(p) for p in paths):
+        findings.extend(lint_source(load_source(file, root), active, cfg))
+    return findings

@@ -1,0 +1,29 @@
+"""Rule registry: one module per invariant."""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.feature_gate import FeatureGateRule
+from repro.analysis.rules.nondeterminism import NondeterminismRule
+from repro.analysis.rules.runtime_assert import RuntimeAssertRule
+from repro.analysis.rules.set_iteration import SetIterationRule
+from repro.analysis.rules.slots import SlotsRule
+from repro.analysis.rules.tracer_mirror import TracerMirrorRule
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    NondeterminismRule,
+    RuntimeAssertRule,
+    TracerMirrorRule,
+    SlotsRule,
+    FeatureGateRule,
+    SetIterationRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in catalogue order."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_id() -> dict[str, type[Rule]]:
+    return {cls.id: cls for cls in _RULE_CLASSES}

@@ -1,0 +1,158 @@
+"""Rule ``nondeterminism``: no wall clocks, global RNG, or str-hash seeds.
+
+The simulation core's contract is *replay determinism*: the same store,
+plan, options, and fault seed produce bit-identical simulated timings
+and results, run after run, interpreter after interpreter.  Anything
+that consults a wall clock (``time.time``/``perf_counter``), process
+entropy (``os.urandom``, ``uuid.uuid4``), the *global* ``random``
+module, an unseeded ``random.Random()``, or interpreter string hashing
+(``hash(...)`` varies with PYTHONHASHSEED) silently breaks that
+contract.  Deterministic alternatives: the :class:`~repro.sim.clock.SimClock`,
+an explicitly seeded ``random.Random(seed)``, and explicit integer
+mixing for seed derivation.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import ReplintConfig
+from repro.analysis.core import Finding, Rule, SourceFile
+
+#: fully-qualified callables that read wall clocks or process entropy
+_FORBIDDEN_CALLS: dict[str, str] = {
+    "time.time": "reads the wall clock; use the SimClock",
+    "time.time_ns": "reads the wall clock; use the SimClock",
+    "time.perf_counter": "reads the wall clock; use the SimClock",
+    "time.perf_counter_ns": "reads the wall clock; use the SimClock",
+    "time.monotonic": "reads the wall clock; use the SimClock",
+    "time.monotonic_ns": "reads the wall clock; use the SimClock",
+    "time.process_time": "reads the process clock; use the SimClock",
+    "datetime.datetime.now": "reads the wall clock; use the SimClock",
+    "datetime.datetime.utcnow": "reads the wall clock; use the SimClock",
+    "datetime.date.today": "reads the wall clock; use the SimClock",
+    "os.urandom": "draws process entropy; derive from an explicit seed",
+    "uuid.uuid1": "draws host state; derive ids from an explicit seed",
+    "uuid.uuid4": "draws process entropy; derive ids from an explicit seed",
+    "secrets.token_bytes": "draws process entropy; derive from an explicit seed",
+    "secrets.token_hex": "draws process entropy; derive from an explicit seed",
+    "random.SystemRandom": "draws process entropy; use random.Random(seed)",
+}
+
+#: module-level random.* functions = the shared, unseeded global RNG
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "getrandbits",
+        "randbytes",
+        "triangular",
+        "seed",
+    }
+)
+
+
+class NondeterminismRule(Rule):
+    id = "nondeterminism"
+    description = (
+        "no wall clocks, process entropy, global/unseeded RNG, or "
+        "interpreter-hash seed derivation in the deterministic core"
+    )
+
+    def check(self, src: SourceFile, config: ReplintConfig) -> list[Finding]:
+        imports = _import_table(src.tree)
+        findings: list[Finding] = []
+        hash_exempt = _hash_exempt_spans(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = _qualify(node.func, imports)
+            if qualified is None:
+                continue
+            if qualified in _FORBIDDEN_CALLS:
+                findings.append(
+                    self.finding(
+                        src, node, f"{qualified}() {_FORBIDDEN_CALLS[qualified]}"
+                    )
+                )
+            elif qualified.startswith("random.") and qualified.removeprefix(
+                "random."
+            ) in _GLOBAL_RANDOM_FUNCS:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{qualified}() uses the global unseeded RNG; "
+                        "construct random.Random(seed) instead",
+                    )
+                )
+            elif qualified == "random.Random" and not node.args and not node.keywords:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "random.Random() without a seed draws from OS entropy; "
+                        "pass an explicit seed",
+                    )
+                )
+            elif qualified == "hash" and not any(
+                lo <= node.lineno <= hi for lo, hi in hash_exempt
+            ):
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "hash() varies with PYTHONHASHSEED for str/bytes; "
+                        "use explicit integer mixing for seeds and keys",
+                    )
+                )
+        return findings
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> qualified prefix, from the module's import statements."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _qualify(func: ast.expr, imports: dict[str, str]) -> str | None:
+    """Resolve a call target through the import table; builtins stay bare."""
+    parts: list[str] = []
+    node: ast.expr = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = imports.get(node.id, node.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+def _hash_exempt_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line spans of ``__hash__``/``__eq__`` bodies, where hash() is the point."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in ("__hash__", "__eq__")
+        ):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans

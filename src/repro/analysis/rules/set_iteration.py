@@ -1,0 +1,106 @@
+"""Rule ``set-iteration``: dedup sets are iterated sorted, or not at all.
+
+The engine keeps dedup state in integer/NodeID sets
+(``XSchedule._visited``/``_sidelined``/``_dead_noted``,
+``XAssembly._r``).  Sets are order-free for membership — the only
+operation those structures exist for — but *iterating* one puts its
+hash-table order on the wire: into result order, degradation reports,
+or trace output, where it would vary across interpreters and insertion
+histories.  The audited invariant (see ``docs/static-analysis.md``) is
+that dedup sets are membership-only; any future iteration must go
+through ``sorted(...)`` or justify itself with a suppression.
+
+The rule tracks names annotated/bound as sets in the current file and
+flags ``for``-loops, comprehension clauses, and ``list``/``tuple``
+materialisations over them, as well as direct iteration over set
+literals and ``set(...)`` calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import ReplintConfig
+from repro.analysis.core import Finding, Rule, SourceFile
+
+_SET_ANNOTATIONS = ("set", "set[", "Set[", "frozenset", "frozenset[", "FrozenSet[")
+_MATERIALISERS = frozenset({"list", "tuple"})
+
+
+class SetIterationRule(Rule):
+    id = "set-iteration"
+    description = "no order-dependent iteration over dedup sets (sorted() or membership only)"
+
+    def check(self, src: SourceFile, config: ReplintConfig) -> list[Finding]:
+        set_keys = self._set_typed_keys(src.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MATERIALISERS
+                and len(node.args) == 1
+            ):
+                iters.append(node.args[0])
+            for candidate in iters:
+                if self._is_unordered_set(candidate, set_keys):
+                    findings.append(
+                        self.finding(
+                            src,
+                            candidate,
+                            f"iteration over unordered set "
+                            f"{ast.unparse(candidate)!r} can leak hash order "
+                            "into results/timings/trace; iterate sorted(...) "
+                            "or keep the set membership-only",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _set_typed_keys(tree: ast.Module) -> set[str]:
+        """Textual keys (``self._visited``, ``pages``) known to be sets."""
+        keys: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                annotation = ast.unparse(node.annotation)
+                if annotation.startswith(_SET_ANNOTATIONS):
+                    keys.add(ast.unparse(node.target))
+            elif isinstance(node, ast.Assign):
+                value = node.value
+                is_set_call = (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("set", "frozenset")
+                )
+                if is_set_call or isinstance(value, ast.SetComp) or (
+                    isinstance(value, ast.Set)
+                ):
+                    for target in node.targets:
+                        if isinstance(target, (ast.Name, ast.Attribute)):
+                            keys.add(ast.unparse(target))
+        return keys
+
+    @staticmethod
+    def _is_unordered_set(expr: ast.expr, set_keys: set[str]) -> bool:
+        if isinstance(expr, ast.Set) or isinstance(expr, ast.SetComp):
+            return True
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        ):
+            return True
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            return ast.unparse(expr) in set_keys
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return SetIterationRule._is_unordered_set(
+                expr.left, set_keys
+            ) or SetIterationRule._is_unordered_set(expr.right, set_keys)
+        return False

@@ -1,0 +1,112 @@
+"""Rule ``tracer-mirror``: every Stats increment has a guarded tracer mirror.
+
+The observability layer's reconciliation contract
+(:meth:`repro.obs.metrics.TraceSummary.reconcile`) is that a traced run's
+counters match the ``Stats`` bundle *counter for counter*.  The dynamic
+fields()-driven drift test catches violations after the fact; this rule
+proves the static half on every commit: wherever the engine does
+``stats.<field> += amount`` it must also do
+``tracer.count("<field>", amount)`` in the same function, behind the
+``is not None`` guard that keeps untraced runs zero-overhead.
+
+Increments of a literal ``0`` are exempt (they cannot move a counter),
+as is :class:`repro.sim.stats.Stats` itself (``merge``/``reset`` move
+counters *between* bundles, not into them).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import ReplintConfig
+from repro.analysis.core import Finding, Rule, SourceFile
+from repro.analysis.guards import (
+    GuardIndex,
+    expr_key,
+    iter_scopes,
+    terminal_name,
+    walk_scope,
+)
+
+
+class TracerMirrorRule(Rule):
+    id = "tracer-mirror"
+    description = "Stats increments carry a guarded, amount-matching tracer.count mirror"
+
+    def check(self, src: SourceFile, config: ReplintConfig) -> list[Finding]:
+        if src.relpath == "sim/stats.py":
+            return []
+        findings: list[Finding] = []
+        for scope in iter_scopes(src.tree):
+            self._check_scope(scope, src, config, findings)
+        return findings
+
+    def _check_scope(
+        self,
+        scope: ast.AST,
+        src: SourceFile,
+        config: ReplintConfig,
+        findings: list[Finding],
+    ) -> None:
+        increments: list[tuple[ast.AugAssign, str, str]] = []
+        mirrors: list[tuple[ast.Call, str, str, str]] = []  # node, field, amount, key
+        for node in walk_scope(scope):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                target = node.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in config.stats_fields
+                    and terminal_name(target.value) == "stats"
+                ):
+                    if isinstance(node.value, ast.Constant) and node.value.value == 0:
+                        continue
+                    increments.append((node, target.attr, ast.unparse(node.value)))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "count"
+                    and terminal_name(func.value) == "tracer"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    amount = ast.unparse(node.args[1]) if len(node.args) > 1 else "1"
+                    key = expr_key(func.value) or "tracer"
+                    mirrors.append((node, node.args[0].value, amount, key))
+        if not increments:
+            return
+        guards = GuardIndex(scope)
+        for inc_node, field, amount in increments:
+            candidates = [m for m in mirrors if m[1] == field]
+            if not candidates:
+                findings.append(
+                    self.finding(
+                        src,
+                        inc_node,
+                        f"stats.{field} increment has no tracer.count({field!r}) "
+                        "mirror in this function",
+                    )
+                )
+                continue
+            guarded = [m for m in candidates if guards.is_guarded(m[0], m[3])]
+            if not guarded:
+                findings.append(
+                    self.finding(
+                        src,
+                        inc_node,
+                        f"the tracer.count({field!r}) mirror is not behind an "
+                        "`is not None` guard (untraced runs must pay nothing)",
+                    )
+                )
+                continue
+            if not any(m[2] == amount for m in guarded):
+                found = ", ".join(sorted({m[2] for m in guarded}))
+                findings.append(
+                    self.finding(
+                        src,
+                        inc_node,
+                        f"stats.{field} += {amount} but its mirror counts "
+                        f"{found}; amounts must match for reconciliation",
+                    )
+                )

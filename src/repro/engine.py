@@ -26,7 +26,7 @@ from repro.exec.environment import ExecutionEnvironment
 from repro.obs import TraceSummary, Tracer
 from repro.sim.faults import FaultProfile
 from repro.model.builder import TreeBuilder
-from repro.model.tree import Kind, LogicalTree
+from repro.model.tree import LogicalTree
 from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.sim.disk import DiskGeometry, SchedulingPolicy
 from repro.sim.stats import Stats

@@ -15,6 +15,20 @@ class StorageError(ReproError):
     """A storage-layer invariant was violated (bad NodeID, full page, ...)."""
 
 
+class StoreCorruptError(StorageError):
+    """Stored data failed a structural validity check.
+
+    Raised wherever the engine reads back records — navigation, export,
+    persistence, the importer's finalisation — and finds a shape the
+    writer can never have produced (a border where a core record must
+    sit, a missing child list, a dangling companion).  These checks are
+    *data* validation, not programming asserts: they must survive
+    ``python -O``, which is why the storage layer raises this type
+    instead of using ``assert`` (enforced by replint's runtime-assert
+    rule; see ``docs/static-analysis.md``).
+    """
+
+
 class BufferError_(StorageError):
     """The buffer manager could not satisfy a fix request.
 

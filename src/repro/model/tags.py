@@ -27,9 +27,14 @@ class TagDictionary:
     def __init__(self) -> None:
         self._by_name: dict[str, int] = {}
         self._by_id: list[str] = []
-        # Reserved pseudo-tags occupy ids 0 and 1.
-        assert self.intern(DOCUMENT_TAG_NAME) == DOCUMENT_TAG
-        assert self.intern(TEXT_TAG_NAME) == TEXT_TAG
+        # Reserved pseudo-tags occupy ids 0 and 1.  The intern() calls
+        # are load-bearing (they allocate the ids), so they must not sit
+        # inside an assert: python -O would strip them and every tag id
+        # in the process would shift by two.
+        if self.intern(DOCUMENT_TAG_NAME) != DOCUMENT_TAG:
+            raise RuntimeError("document pseudo-tag did not receive id 0")
+        if self.intern(TEXT_TAG_NAME) != TEXT_TAG:
+            raise RuntimeError("text pseudo-tag did not receive id 1")
 
     def intern(self, name: str) -> int:
         """Return the id for ``name``, allocating a new one if needed."""

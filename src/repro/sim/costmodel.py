@@ -12,10 +12,10 @@ All values are in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostModel:
     """Per-primitive CPU costs charged by the engine.
 

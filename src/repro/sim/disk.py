@@ -39,7 +39,7 @@ class SchedulingPolicy(enum.Enum):
     CLOOK = "clook"  #: circular elevator (ascending sweep, wrap around)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskGeometry:
     """Physical parameters of the simulated device.
 
@@ -104,6 +104,20 @@ class DiskDevice:
     what makes the asynchronous-queue reordering honest — the benefit of a
     deep queue is that more candidates are visible when the head frees up.
     """
+
+    __slots__ = (
+        "geometry",
+        "policy",
+        "stats",
+        "tracer",
+        "faults",
+        "head",
+        "busy_until",
+        "_pending",
+        "_in_flight",
+        "_completed",
+        "_seq",
+    )
 
     def __init__(
         self,
@@ -175,8 +189,14 @@ class DiskDevice:
         self._advance(now)
         while not self._completed:
             if self._in_flight is not None:
-                assert self._in_flight.done_time is not None
-                self._advance(self._in_flight.done_time)
+                done_time = self._in_flight.done_time
+                if done_time is None:
+                    raise DiskProgressError(
+                        "in-flight request lost its completion time",
+                        (self._in_flight.page,),
+                        self.busy_until,
+                    )
+                self._advance(done_time)
             elif self._pending:
                 start = max(self.busy_until, min(r.submit_time for r in self._pending))
                 # force one service step at its start time
@@ -201,7 +221,12 @@ class DiskDevice:
         """Serve requests whose service can start at or before time ``t``."""
         while True:
             if self._in_flight is not None:
-                assert self._in_flight.done_time is not None
+                if self._in_flight.done_time is None:
+                    raise DiskProgressError(
+                        "in-flight request lost its completion time",
+                        (self._in_flight.page,),
+                        self.busy_until,
+                    )
                 if self._in_flight.done_time <= t:
                     if self._in_flight.outcome is Outcome.LOST:
                         # serviced, but the completion notification vanished:

@@ -53,7 +53,7 @@ class Outcome(enum.Enum):
     LOST = "lost"  #: serviced, but the completion notification vanished
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceVerdict:
     """What the fault plan decided for one service attempt."""
 
@@ -61,7 +61,7 @@ class ServiceVerdict:
     slow_factor: float = 1.0  #: service-duration multiplier (latency spike)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultProfile:
     """Declarative description of a fault workload (hashable, reusable).
 
@@ -167,7 +167,7 @@ class FaultPlan:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """How :class:`~repro.sim.iosys.AsyncIOSystem` recovers from faults.
 

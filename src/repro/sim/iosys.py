@@ -37,6 +37,19 @@ from repro.sim.stats import Stats
 class AsyncIOSystem:
     """Issue/retrieve interface over the simulated disk."""
 
+    __slots__ = (
+        "disk",
+        "clock",
+        "costs",
+        "stats",
+        "retry",
+        "tracer",
+        "_requested",
+        "_attempts",
+        "_early",
+        "last_latency",
+    )
+
     def __init__(
         self,
         disk: DiskDevice,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class Stats:
     """Mutable counter bundle for one query execution (or one component).
 

@@ -24,7 +24,7 @@ each other.
 from __future__ import annotations
 
 from repro.algebra.context import EvalContext
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreCorruptError
 from repro.model.tree import Kind
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.record import BorderRecord, CoreRecord
@@ -58,7 +58,10 @@ def _serialize_local(
             out.append(_HOLE)
             holes.append(record.target())
             continue
-        assert isinstance(record, CoreRecord)
+        if not isinstance(record, CoreRecord):
+            raise StoreCorruptError(
+                f"tombstone in a live subtree at page {page.page_no} slot {slot}"
+            )
         ctx.charge_instance()
         if record.kind == Kind.TEXT:
             out.append(escape_text(record.value or ""))
@@ -205,7 +208,10 @@ def export_navigate(ctx: EvalContext, document: StoredDocument) -> str:
     def emit_border(target: NodeID) -> None:
         frame = ctx.buffer.fix(page_of(target))
         record = frame.page.record(slot_of(target))
-        assert isinstance(record, BorderRecord)
+        if not isinstance(record, BorderRecord):
+            raise StoreCorruptError(
+                f"border companion {target!r} does not point at a border record"
+            )
         if record.continuation:
             members = list(record.child_slots or ())
             ctx.buffer.unfix(frame)

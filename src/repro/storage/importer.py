@@ -32,8 +32,8 @@ import random
 from array import array
 from dataclasses import dataclass
 
-from repro.errors import StorageError
-from repro.model.tree import NIL, Kind, LogicalTree
+from repro.errors import StorageError, StoreCorruptError
+from repro.model.tree import Kind, LogicalTree
 from repro.storage.nodeid import NodeID, make_nodeid
 from repro.storage.ordpath import OrdPath
 from repro.storage.page import PAGE_HEADER, SLOT_ENTRY, Page
@@ -256,7 +256,10 @@ class _Importer:
         if isinstance(holder, CoreRecord):
             holder.child_slots.append(slot)
         else:
-            assert holder.child_slots is not None
+            if holder.child_slots is None:
+                raise StoreCorruptError(
+                    "continuation proxy lost its child list during import"
+                )
             holder.child_slots.append(slot)
         cluster.page.grow(CHILD_LINK_SIZE)
 
@@ -424,7 +427,11 @@ class _Importer:
         for ci, si, cj, sj in self.pairs:
             a = self.clusters[ci].page.record(si)
             b = self.clusters[cj].page.record(sj)
-            assert isinstance(a, BorderRecord) and isinstance(b, BorderRecord)
+            if not isinstance(a, BorderRecord) or not isinstance(b, BorderRecord):
+                raise StoreCorruptError(
+                    f"border pair ({ci},{si})<->({cj},{sj}) does not join two "
+                    "border records"
+                )
             a.companion = make_nodeid(page_no[cj], sj)
             b.companion = make_nodeid(page_no[ci], si)
         for node in range(len(self.tree)):

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Callable, Iterator
 
 from repro.axes import Axis
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreCorruptError
 from repro.storage.page import Page
 from repro.storage.record import BorderRecord, CoreRecord
 
@@ -137,7 +137,10 @@ def _iter_siblings(
         yield (True, parent_slot)
         return
     slots = holder.child_slots if isinstance(holder, BorderRecord) else holder.child_slots
-    assert slots is not None
+    if slots is None:
+        raise StoreCorruptError(
+            f"holder at page {page.page_no} slot {parent_slot} has no child list"
+        )
     index = slots.index(slot)
     if forward:
         yield from _iter_child_list(page, slots[index + 1 :], charge)
@@ -166,26 +169,42 @@ def iter_resume(page: Page, entry_slot: int, axis: Axis, charge: Charge) -> Iter
 
     if axis in (Axis.CHILD, Axis.ATTRIBUTE):
         if entry.continuation:
-            assert entry.child_slots is not None
+            if entry.child_slots is None:
+                raise StoreCorruptError(
+                    f"continuation proxy at page {page.page_no} slot {entry_slot} "
+                    "has no child list"
+                )
             yield from _iter_child_list(page, entry.child_slots, charge)
         else:
             charge()
             yield (False, entry.local_slot)
     elif axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
         if entry.continuation:
-            assert entry.child_slots is not None
+            if entry.child_slots is None:
+                raise StoreCorruptError(
+                    f"continuation proxy at page {page.page_no} slot {entry_slot} "
+                    "has no child list"
+                )
             for is_border, slot in _iter_child_list(page, entry.child_slots, charge):
                 if is_border:
                     yield (True, slot)
                 else:
                     child = page.record(slot)
-                    assert isinstance(child, CoreRecord)
+                    if not isinstance(child, CoreRecord):
+                        raise StoreCorruptError(
+                            f"proxy child at page {page.page_no} slot {slot} "
+                            "is not a core record"
+                        )
                     yield (False, slot)
                     yield from _iter_descendants(page, child, charge)
         else:
             charge()
             root = page.record(entry.local_slot)
-            assert isinstance(root, CoreRecord)
+            if not isinstance(root, CoreRecord):
+                raise StoreCorruptError(
+                    f"up-border at page {page.page_no} slot {entry_slot} points at "
+                    f"slot {entry.local_slot}, which is not a core record"
+                )
             yield (False, entry.local_slot)
             yield from _iter_descendants(page, root, charge)
     elif axis is Axis.SELF:
@@ -246,7 +265,11 @@ def _resume_sibling(
             charge()
             yield (False, entry.local_slot)
             return
-        assert entry.child_slots is not None
+        if entry.child_slots is None:
+            raise StoreCorruptError(
+                f"continuation proxy at page {page.page_no} slot {entry_slot} "
+                "has no child list"
+            )
         if forward:
             yield from _iter_child_list(page, entry.child_slots, charge)
         else:
@@ -258,7 +281,10 @@ def _resume_sibling(
     charge()
     holder = page.record(entry.local_slot)
     slots = holder.child_slots
-    assert slots is not None
+    if slots is None:
+        raise StoreCorruptError(
+            f"holder at page {page.page_no} slot {entry.local_slot} has no child list"
+        )
     index = slots.index(entry_slot)
     if forward:
         yield from _iter_child_list(page, slots[index + 1 :], charge)

@@ -163,10 +163,9 @@ def label_between(left: OrdPath | None, right: OrdPath | None) -> OrdPath:
     "before the first sibling", ``right is None`` means "after the last
     sibling".  Both ``None`` is invalid (no context to attach to).
     """
-    if left is None and right is None:
-        raise ValueError("label_between needs at least one neighbour")
     if left is None:
-        assert right is not None
+        if right is None:
+            raise ValueError("label_between needs at least one neighbour")
         k = _tail_of(right.components)
         return OrdPath(right.components[:k] + _tail_before(right.components[k:]))
     if right is None:

@@ -39,11 +39,10 @@ AUTO plan chooser and the pruning layers should have them.
 
 from __future__ import annotations
 
-import io
 import struct
 from typing import BinaryIO
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreCorruptError
 from repro.model.tree import Kind
 from repro.storage.nodeid import NodeID
 from repro.storage.ordpath import OrdPath
@@ -142,7 +141,10 @@ def _write_record(out: BinaryIO, record) -> None:
             out.write(struct.pack(f"<{len(record.child_slots)}I", *record.child_slots))
         _write_value(out, record.value)
         return
-    assert isinstance(record, BorderRecord)
+    if not isinstance(record, BorderRecord):
+        raise StoreCorruptError(
+            f"unserialisable record type {type(record).__name__} in segment"
+        )
     out.write(b"\x02")
     companion = 0 if record.companion is None else int(record.companion) + 1
     flags = (1 if record.down else 0) | (2 if record.continuation else 0)
@@ -187,7 +189,7 @@ def _read_record(inp: BinaryIO):
             continuation=bool(flags & 2),
             child_slots=child_slots,
         )
-    raise StorageError(f"corrupt store file: unknown record tag {kind_tag!r}")
+    raise StoreCorruptError(f"corrupt store file: unknown record tag {kind_tag!r}")
 
 
 def save_store(store: DocumentStore, path: str) -> None:
@@ -229,7 +231,7 @@ def load_store(path: str) -> DocumentStore:
             name = _read_str(inp)
             interned = store.tags.intern(name)
             if interned != index:
-                raise StorageError(
+                raise StoreCorruptError(
                     f"corrupt store file: tag {name!r} maps to {interned}, expected {index}"
                 )
         (n_pages,) = struct.unpack("<I", inp.read(4))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreCorruptError
 from repro.model.builder import TreeBuilder
 from repro.model.tags import TagDictionary
 from repro.model.tree import Kind, LogicalTree
@@ -293,7 +293,11 @@ def export_tree(store: DocumentStore, doc: StoredDocument) -> LogicalTree:
                 target = entry.target()
                 proxy_page = page_of(target)
                 proxy = segment.page(proxy_page).record(slot_of(target))
-                assert isinstance(proxy, BorderRecord)
+                if not isinstance(proxy, BorderRecord):
+                    raise StoreCorruptError(
+                        f"continuation companion {target!r} does not point at "
+                        "a border record"
+                    )
                 out.extend(child_entries(proxy_page, proxy))
             else:
                 out.append((page_no, slot))
@@ -317,7 +321,10 @@ def export_tree(store: DocumentStore, doc: StoredDocument) -> LogicalTree:
 
     root_page, root_slot = page_of(doc.root), slot_of(doc.root)
     root_record = segment.page(root_page).record(root_slot)
-    assert isinstance(root_record, CoreRecord) and root_record.kind == Kind.DOCUMENT
+    if not isinstance(root_record, CoreRecord) or root_record.kind != Kind.DOCUMENT:
+        raise StoreCorruptError(
+            f"document root {doc.root!r} is not a DOCUMENT core record"
+        )
     for child_page, child_slot in child_entries(root_page, root_record):
         emit(child_page, child_slot)
     return builder.finish()

@@ -22,7 +22,7 @@ of updates — fragmented layouts — are what the benchmarks simulate.
 
 from __future__ import annotations
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StoreCorruptError
 from repro.model.tree import Kind
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.ordpath import OrdPath, label_between
@@ -105,7 +105,12 @@ def _relocate_closure(
     slack = min(256, page.capacity // 4)
     need = closure_bytes + 16 + 4 * (len(closure) + 1)
     target_page = _find_space(segment, min(page.capacity - 48, need + slack))
-    assert target_page is not page  # it has free space, this page does not
+    if target_page is page:
+        # it has free space, this page does not — picking the source again
+        # would loop forever
+        raise StorageError(
+            f"relocation chose the full source page {page.page_no} as its target"
+        )
     up = BorderRecord(None, -1, down=False)
     up_slot = target_page.add(up)
     root_new = _move_closure(segment, page, target_page, closure, up_slot)
@@ -513,7 +518,10 @@ def delete_subtree(store: DocumentStore, doc: StoredDocument, nid: NodeID) -> in
         target = parent_entry.target()
         parent_page = segment.page(page_of(target))
         down = parent_page.record(slot_of(target))
-        assert isinstance(down, BorderRecord)
+        if not isinstance(down, BorderRecord):
+            raise StoreCorruptError(
+                f"border companion {target!r} does not point at a border record"
+            )
         holder = parent_page.record(down.local_slot)
         entry_slot = slot_of(target)
         extra_garbage.append((page, record.parent_slot))

@@ -64,7 +64,10 @@ class XMarkProfile:
 
 class _Generator:
     def __init__(self, scale: float, seed: int, profile: XMarkProfile, tags: TagDictionary | None):
-        self.rng = random.Random((seed << 16) ^ hash(round(scale * 1000)))
+        # explicit integer mixing: round(scale * 1000) is a small non-negative
+        # int, so this produces the same stream as the historical hash()-based
+        # mixing while staying independent of PYTHONHASHSEED
+        self.rng = random.Random((seed << 16) ^ round(scale * 1000))
         self.profile = profile
         self.scale = scale
         self.builder = TreeBuilder(tags)

@@ -455,6 +455,15 @@ def compile_query(
             and steps
             and steps[0].axis is Axis.DESCENDANT_OR_SELF
             and steps[0].test.is_node_test
+            # the opt declares every step-1 junction proven, and those
+            # junctions are consumed by the second step.  For downward and
+            # upward axes every entry border is provably crossed (contexts
+            # exist everywhere under //node()), but a sibling axis enters a
+            # plain up-border as a *candidate* crossing — valid only if the
+            # exiled subtree root actually has a preceding (resp. following)
+            # sibling, which a first/last child does not.  Those junctions
+            # need explicit proof, so the opt must stay off.
+            and not (len(steps) > 1 and steps[1].axis.is_sibling)
         )
         kinds.append(resolved)
         path_kind = PlanKind.XSCAN if resolved is PlanKind.XSCAN_SHARED else resolved

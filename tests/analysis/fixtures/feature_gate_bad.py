@@ -1,0 +1,13 @@
+"""Fixture: optional-subsystem uses with no `is not None` guard."""
+
+
+class Device:
+    def submit(self, page):
+        self.tracer.count("io_requests")
+
+    def prune(self, page):
+        return self.synopsis.can_skip(page)
+
+
+def poll(faults):
+    return faults.service(0)

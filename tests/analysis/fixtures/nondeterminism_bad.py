@@ -1,0 +1,30 @@
+"""Fixture: every statement here violates the nondeterminism rule."""
+
+import os
+import random
+import time
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return perf_counter()
+
+
+def entropy():
+    return os.urandom(8)
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def fresh_rng():
+    return random.Random()
+
+
+def seed_of(scale):
+    return hash(str(scale))

@@ -1,0 +1,23 @@
+"""Fixture: deterministic counterparts that must lint clean."""
+
+import random
+
+
+class Key:
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Key) and hash(self) == hash(other)
+
+    def __hash__(self):
+        return hash(self.value)
+
+
+def seeded_rng(seed, scale):
+    # explicit integer mixing instead of hash()
+    return random.Random((seed << 16) ^ round(scale * 1000))
+
+
+def pick(rng, items):
+    return items[rng.randrange(len(items))]

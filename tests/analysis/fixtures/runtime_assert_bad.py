@@ -1,0 +1,13 @@
+"""Fixture: asserts used for data validation in a runtime path."""
+
+
+def read_record(records, slot):
+    record = records[slot]
+    assert record is not None
+    return record
+
+
+class Cursor:
+    def advance(self):
+        assert self.position >= 0
+        self.position += 1

@@ -1,0 +1,20 @@
+"""Fixture: hash-order iteration over dedup sets."""
+
+
+class Scheduler:
+    def __init__(self):
+        self._visited = set()
+
+    def drain(self):
+        return [page for page in self._visited]
+
+    def order(self):
+        for page in self._visited:
+            yield page
+
+    def snapshot(self):
+        return list(self._visited)
+
+    def merged(self, other):
+        for page in self._visited | other:
+            yield page

@@ -1,0 +1,19 @@
+"""Fixture: membership-only dedup sets, iteration always via sorted()."""
+
+
+class Scheduler:
+    def __init__(self):
+        self._visited = set()
+
+    def seen(self, page):
+        return page in self._visited
+
+    def note(self, page):
+        self._visited.add(page)
+
+    def drain(self):
+        return [page for page in sorted(self._visited)]
+
+    def report(self):
+        for page in sorted(self._visited):
+            yield page

@@ -1,0 +1,19 @@
+"""Fixture: hot-module classes missing __slots__, and a shadowed slot."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+class Frame:
+    def __init__(self, page):
+        self.page = page
+
+
+class Shadowed:
+    __slots__ = ("value",)
+    value = 0

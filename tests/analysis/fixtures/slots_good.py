@@ -1,0 +1,31 @@
+"""Fixture: slotted classes and the shape-exempt categories."""
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass(slots=True)
+class Point:
+    x: int
+    y: int
+
+
+class Frame:
+    __slots__ = ("page", "pins")
+
+    def __init__(self, page):
+        self.page = page
+        self.pins = 0
+
+
+class Colour(enum.Enum):
+    RED = 1
+
+
+class BrokenError(Exception):
+    pass
+
+
+class Readable(Protocol):
+    def read(self) -> bytes: ...

@@ -1,0 +1,19 @@
+"""Fixture: violations silenced by line and file-wide suppressions."""
+# replint: disable-file=slots
+
+import time
+
+
+class Frame:
+    def __init__(self, page):
+        self.page = page
+
+
+def stamp():
+    return time.time()  # replint: disable=nondeterminism
+
+
+def read_record(records, slot):
+    record = records[slot]
+    assert record is not None  # replint: disable=runtime-assert
+    return record

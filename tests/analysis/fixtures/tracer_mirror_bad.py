@@ -1,0 +1,16 @@
+"""Fixture: Stats increments whose tracer mirrors are missing or wrong."""
+
+
+def missing_mirror(self, page):
+    self.stats.pages_read += 1
+
+
+def unguarded_mirror(self):
+    self.stats.seeks += 1
+    self.tracer.count("seeks")
+
+
+def mismatched_amount(self, distance):
+    self.stats.seek_distance += distance
+    if self.tracer is not None:
+        self.tracer.count("seek_distance", 1)

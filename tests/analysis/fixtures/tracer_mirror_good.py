@@ -1,0 +1,15 @@
+"""Fixture: the blessed mirror shape, plus the literal-zero exemption."""
+
+
+def service(self, page, distance):
+    self.stats.pages_read += 1
+    if self.tracer is not None:
+        self.tracer.count("pages_read")
+    self.stats.seek_distance += distance
+    if self.tracer is not None:
+        self.tracer.count("seek_distance", distance)
+
+
+def noop(self):
+    # += 0 cannot move a counter; no mirror required
+    self.stats.fallbacks += 0

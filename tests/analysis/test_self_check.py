@@ -1,0 +1,55 @@
+"""The engine's own source tree lints clean — the repo-wide invariant.
+
+These are the regression guards for the PR-wide sweeps: reintroducing a
+runtime assert in the storage layer, dropping a ``__slots__``, losing a
+tracer guard, or iterating a dedup set will fail here before CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, load_config
+from repro.analysis.__main__ import main
+from repro.analysis.rules import rules_by_id
+
+import repro
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_self_check_exits_clean(capsys):
+    assert main(["--self-check", "--no-config"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_package_tree_has_no_findings():
+    findings = lint_paths([PACKAGE_ROOT], config=load_config(PACKAGE_ROOT))
+    assert [f.format() for f in findings] == []
+
+
+def test_dedup_sets_stay_membership_only():
+    """The audited invariant for XSchedule/XAssembly dedup state.
+
+    ``_visited``/``_sidelined``/``_dead_noted`` and ``_r`` exist for
+    membership tests; iterating one would leak hash order into result
+    order.  The set-iteration rule proves no such iteration exists.
+    """
+    rule = rules_by_id()["set-iteration"]()
+    findings = lint_paths(
+        [
+            PACKAGE_ROOT / "algebra" / "xschedule.py",
+            PACKAGE_ROOT / "algebra" / "xassembly.py",
+        ],
+        config=load_config(PACKAGE_ROOT),
+        rules=[rule],
+    )
+    assert findings == []
+
+
+def test_runtime_paths_carry_no_asserts():
+    rule = rules_by_id()["runtime-assert"]()
+    findings = lint_paths(
+        [PACKAGE_ROOT / "storage", PACKAGE_ROOT / "sim"],
+        config=load_config(PACKAGE_ROOT),
+        rules=[rule],
+    )
+    assert findings == []

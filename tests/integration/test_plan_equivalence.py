@@ -129,3 +129,56 @@ def test_fragmented_layout_matches_clean_layout():
         clean = db_clean.execute(query, doc="d", plan="xscan")
         frag = db_frag.execute(query, doc="d", plan="xscan")
         assert len(clean.nodes) == len(frag.nodes), query
+
+
+def _first_child_exile_database():
+    """Document whose layout exiles several *first* children into their
+    own clusters.
+
+    That shape is the regression trigger for the ``//``-prefix
+    optimisation: XScan speculates a sibling entry at every up-border,
+    and an implicitly-proven step-1 junction would emit the exiled first
+    child as a following-sibling result even though it has no preceding
+    sibling at all.
+    """
+    import random
+
+    from repro.model.builder import TreeBuilder
+
+    rng = random.Random(0)
+    db = Database(page_size=512, buffer_pages=48)
+    builder = TreeBuilder(db.tags)
+    builder.start_element("root")
+
+    def gen(depth):
+        builder.start_element(rng.choice("abc"))
+        for _ in range(rng.randrange(4) if depth < 5 else 0):
+            if rng.random() < 0.25:
+                builder.text("t" * rng.randrange(1, 10))
+            else:
+                gen(depth + 1)
+        builder.end_element()
+
+    for _ in range(rng.randrange(10, 40)):
+        gen(0)
+    builder.end_element()
+    tree = builder.finish()
+    db.add_tree(tree, "d", ImportOptions(page_size=512, fragmentation=0.0, seed=0))
+    return db, tree
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        "/descendant-or-self::node()/following-sibling::a",
+        "/descendant-or-self::node()/preceding-sibling::b",
+    ],
+)
+@pytest.mark.parametrize("speculative", [False, True])
+def test_sibling_step_after_descendant_prefix_matches(query, speculative):
+    db, tree = _first_child_exile_database()
+    expected = expected_for(db, tree, query)
+    options = EvalOptions(speculative=speculative, k_min_queue=4)
+    for plan in ("simple", "xschedule", "xscan"):
+        result = db.execute(query, doc="d", plan=plan, options=options)
+        assert result.nodes == expected, f"{plan} diverged on {query!r}"

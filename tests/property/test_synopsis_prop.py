@@ -11,7 +11,7 @@ skipped page is accounted for by the pruned-clusters counter.
 import dataclasses
 import random
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro import PROFILES, Database, EvalOptions, ImportOptions
@@ -74,6 +74,13 @@ def _outcome(result):
     speculative=st.booleans(),
     path=location_paths(),
 )
+# pruning one cluster shifts buffer evictions for the rest of the run, so
+# physical pages_read may legitimately differ by more than the pruned
+# count; this example pins the scan-accounting invariant at the visited-
+# clusters level where it is buffer-independent
+@example(
+    seed=2, fragmentation=1.0, plan="xscan", speculative=False, path="/descendant::b"
+)
 def test_pruned_run_equals_unpruned_run(seed, fragmentation, plan, speculative, path):
     store = _store(seed, fragmentation)
     results = {}
@@ -96,10 +103,13 @@ def test_pruned_run_equals_unpruned_run(seed, fragmentation, plan, speculative, 
         # pruning may only ever remove I/O
         assert stats_on["pages_read"] <= stats_off["pages_read"]
     if plan == "xscan" and on.stats.fallbacks == 0:
-        # every page is either read or provably skipped (the scan reads
-        # the whole document when unpruned)
+        # every page is either visited by the scan or provably skipped.
+        # The accounting holds on clusters_visited, not pages_read: the
+        # extra page the unpruned run fixes can evict a frame the run
+        # still needs, so its physical re-read count is not comparable.
         assert (
-            stats_on["pages_read"] + pruned_clusters == stats_off["pages_read"]
+            stats_on["clusters_visited"] + pruned_clusters
+            == stats_off["clusters_visited"]
         )
 
 
