@@ -93,3 +93,4 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                     for k in keys
                 )
             )
+        tr.write_line(f"wrote {write_bench_json(exp_id, rows)}")

@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         "unpruned I/O behaviour",
     )
     parser.add_argument(
+        "--no-batched",
+        action="store_true",
+        help="disable the batched columnar datapath: navigate record "
+        "objects one at a time instead of columnar cluster views "
+        "(bit-identical results and simulated timings, more interpreter "
+        "overhead per node)",
+    )
+    parser.add_argument(
         "--latency-slo",
         type=float,
         default=None,
@@ -162,6 +170,8 @@ def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
         kwargs["latency_slo"] = args.latency_slo
     if args.no_synopsis:
         kwargs["synopsis"] = False
+    if args.no_batched:
+        kwargs["batched"] = False
     return EvalOptions(**kwargs) if kwargs else None
 
 

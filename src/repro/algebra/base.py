@@ -64,9 +64,33 @@ class Operator:
             self._trace_t0 = None
 
     def __iter__(self) -> Iterator[PathInstance]:
-        """Convenience: drain the operator (used inside ``_produce``)."""
+        """Convenience: drain the operator (used inside ``_produce``).
+
+        The untraced path inlines :meth:`next` — the same
+        ``charge_call`` cost in the same order, the same budget check,
+        one generator advance — without the two extra call frames per
+        item; with a tracer attached it defers to :meth:`next` so
+        ``op_call`` accounting stays exact.
+        """
+        if self._iter is None:
+            raise PlanError(f"{type(self).__name__}.next() before open()")
+        ctx = self.ctx
+        if ctx.tracer is not None:
+            while True:
+                item = self.next()
+                if item is None:
+                    return
+                yield item
+            return
+        it = self._iter
+        clock = ctx.clock
+        cost = ctx._cost_call
         while True:
-            item = self.next()
+            clock.now += cost
+            clock.cpu_time += cost
+            if ctx._budget is not None:
+                ctx.check_budget()
+            item = next(it, None)
             if item is None:
                 return
             yield item

@@ -141,6 +141,17 @@ class EvalOptions:
         bit-identical either way — and free when the document carries no
         synopsis.  Disable (CLI ``--no-synopsis``) to reproduce the
         paper's unpruned I/O behaviour.
+    batched:
+        Run the intra-cluster datapath batch-at-a-time over columnar
+        cluster views (:class:`~repro.storage.colview.ColumnView`): XStep
+        discovers a whole extension's candidate array charge-free, tests
+        it with one vectorised ``match_batch``, and replays the scalar
+        charge sequence in a flat emit loop; XScan/XSchedule/shared scans
+        enumerate speculative entry borders from the view's precomputed
+        lists.  Pure CPU-dispatch optimisation: results, ``Stats`` and
+        simulated timings are bit-identical with the flag off (CLI
+        ``--no-batched``), which falls back to one-record-at-a-time
+        navigation over record objects.
     retry:
         How the I/O subsystem recovers from injected faults
         (:class:`~repro.sim.faults.RetryPolicy`): retry cap, exponential
@@ -165,6 +176,7 @@ class EvalOptions:
     scan_readahead: int = 0
     rewrite_descendant: bool = True
     synopsis: bool = True
+    batched: bool = True
     retry: RetryPolicy = RetryPolicy()
     latency_slo: float | None = None
     budget: ExecutionBudget | None = None

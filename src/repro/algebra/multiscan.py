@@ -92,6 +92,7 @@ def shared_scan(
     ]
     root = document.root
     context_cluster = page_of(root)
+    batched = ctx.options.batched
     synopsis = document.synopsis if ctx.options.synopsis else None
     page_nos = document.page_nos
     if synopsis is not None:
@@ -148,7 +149,12 @@ def shared_scan(
                         if ctx.tracer is not None:
                             ctx.tracer.count("synopsis_entries_pruned")
                         continue
-                    for border_slot in speculative_entries(page, step.axis):
+                    entries = (
+                        page.colview().entry_slots(step.axis)
+                        if batched
+                        else speculative_entries(page, step.axis)
+                    )
+                    for border_slot in entries:
                         ctx.charge_instance()
                         ctx.stats.speculative_instances += 1
                         if ctx.tracer is not None:

@@ -69,6 +69,15 @@ def _never(kind: int, tag: int) -> bool:
     return False
 
 
+#: Signature of a batch node test: (kind column, tag column, candidate
+#: slots) -> match flags, parallel to the candidate array.
+BatchMatch = Callable[["list[int]", "list[int]", "list[int]"], "list[bool]"]
+
+
+def _never_batch(kinds: "list[int]", tags: "list[int]", slots: "list[int]") -> "list[bool]":
+    return [False] * len(slots)
+
+
 def compile_match(test: CompiledNodeTest) -> Callable[[int, int], bool]:
     """Specialise ``test.matches`` into a minimal closure.
 
@@ -89,6 +98,34 @@ def compile_match(test: CompiledNodeTest) -> Callable[[int, int], bool]:
     if tag is None:
         return lambda kind, _tag, _ks=kinds: kind in _ks
     return lambda kind, t, _ks=kinds, _t=tag: kind in _ks and t == _t
+
+
+def compile_match_batch(test: CompiledNodeTest) -> BatchMatch:
+    """Vectorised form of :func:`compile_match` over columnar arrays.
+
+    Evaluates the node test for a whole candidate batch against a page's
+    kind/tag columns (:class:`~repro.storage.colview.ColumnView`) in one
+    list comprehension — the batched XStep kernel's replacement for one
+    ``match`` call per candidate.  Border and tombstone slots carry
+    negative kind sentinels, so they can never match (the kernel routes
+    borders before consulting the flags anyway).
+    """
+    kinds = test.kinds
+    tag = test.tag
+    if not kinds or tag == UNKNOWN_TAG:
+        return _never_batch
+    if len(kinds) == 1:
+        (only,) = kinds
+        if tag is None:
+            return lambda kc, tc, slots, _k=only: [kc[s] == _k for s in slots]
+        return lambda kc, tc, slots, _k=only, _t=tag: [
+            kc[s] == _k and tc[s] == _t for s in slots
+        ]
+    if tag is None:
+        return lambda kc, tc, slots, _ks=kinds: [kc[s] in _ks for s in slots]
+    return lambda kc, tc, slots, _ks=kinds, _t=tag: [
+        kc[s] in _ks and tc[s] == _t for s in slots
+    ]
 
 
 @dataclass(slots=True)
@@ -123,6 +160,9 @@ class CompiledStep:
     match: Callable[[int, int], bool] = field(
         init=False, repr=False, compare=False
     )
+    #: Precompiled batch form of ``test`` for the columnar kernel.
+    match_batch: BatchMatch = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.match = compile_match(self.test)
+        self.match_batch = compile_match_batch(self.test)

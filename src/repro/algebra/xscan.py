@@ -92,6 +92,7 @@ class XScan(Operator):
                     ctx.tracer.count("synopsis_clusters_pruned", len(skips))
                 page_nos = [p for p in page_nos if p not in skips]
         readahead = ctx.options.scan_readahead
+        batched = ctx.options.batched
         issued = 0
         for index, page_no in enumerate(page_nos):
             if ctx.fallback:
@@ -133,7 +134,14 @@ class XScan(Operator):
                     if ctx.tracer is not None:
                         ctx.tracer.count("synopsis_entries_pruned")
                     continue
-                for border_slot in speculative_entries(frame.page, step.axis):
+                # the columnar view's precomputed border lists replace the
+                # record scan; enumeration charges nothing in either mode
+                entries = (
+                    frame.page.colview().entry_slots(step.axis)
+                    if batched
+                    else speculative_entries(frame.page, step.axis)
+                )
+                for border_slot in entries:
                     ctx.charge_instance()
                     ctx.stats.speculative_instances += 1
                     if ctx.tracer is not None:

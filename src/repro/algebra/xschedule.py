@@ -365,6 +365,7 @@ class XSchedule(Operator):
         ctx = self.ctx
         page_no = page.page_no
         synopsis = self.synopsis
+        batched = ctx.options.batched
         for step_index, step in enumerate(self.steps):
             if synopsis is not None and not synopsis.can_contribute(page_no, step):
                 # no entry of this cluster can extend this step
@@ -372,7 +373,12 @@ class XSchedule(Operator):
                 if ctx.tracer is not None:
                     ctx.tracer.count("synopsis_entries_pruned")
                 continue
-            for border_slot in speculative_entries(page, step.axis):
+            entries = (
+                page.colview().entry_slots(step.axis)
+                if batched
+                else speculative_entries(page, step.axis)
+            )
+            for border_slot in entries:
                 ctx.charge_instance()
                 ctx.stats.speculative_instances += 1
                 if ctx.tracer is not None:

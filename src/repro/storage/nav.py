@@ -18,6 +18,13 @@ generators over page records:
 Every traversed intra-cluster edge charges one ``intra_hop`` through the
 ``charge`` callback; node tests are applied (and charged) by the caller,
 because border candidates cannot be tested before crossing.
+
+This module is the *semantic reference* for the batched datapath:
+:class:`repro.storage.colview.ColumnView` replicates these generators'
+candidate orders, charge placements and corrupt-store exceptions as
+eager array computations.  Any change to an iteration order or a
+``charge()`` site here must be mirrored there (the batched/scalar
+equivalence property test pins the contract bit-for-bit).
 """
 
 from __future__ import annotations
@@ -306,6 +313,11 @@ def speculative_entries(page: Page, axis: Axis) -> Iterator[int]:
 
     A ``self`` step can never pause at a border (it yields only its own
     core node), so no junction for it can ever be proven: no entries.
+
+    The batched datapath serves the same enumeration from the columnar
+    view's precomputed border lists
+    (:meth:`~repro.storage.colview.ColumnView.entry_slots`); both sides
+    must keep yielding ascending slot order and charging nothing.
     """
     if axis is Axis.SELF:
         return

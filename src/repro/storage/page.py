@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterator, Union
 
 from repro.errors import StorageError
+from repro.storage.colview import ColumnView
 from repro.storage.record import BorderRecord, CoreRecord
 
 Record = Union[CoreRecord, BorderRecord]
@@ -29,7 +30,7 @@ class Page:
     NodeIDs of other records are never invalidated.
     """
 
-    __slots__ = ("page_no", "capacity", "records", "used_bytes", "free_slots")
+    __slots__ = ("page_no", "capacity", "records", "used_bytes", "free_slots", "_colview")
 
     def __init__(self, page_no: int, capacity: int) -> None:
         self.page_no = page_no
@@ -37,6 +38,8 @@ class Page:
         self.records: list[Record | None] = []
         self.used_bytes = PAGE_HEADER
         self.free_slots: list[int] = []
+        #: lazily built columnar mirror; None = not built or invalidated
+        self._colview: ColumnView | None = None
 
     def free_bytes(self) -> int:
         return self.capacity - self.used_bytes
@@ -55,7 +58,12 @@ class Page:
                 f"page {self.page_no} overflow: {nbytes} bytes requested, "
                 f"{self.free_bytes()} free"
             )
+        self._colview = None
         if self.free_slots:
+            # reusing a tombstoned slot mutates the middle of the record
+            # array: the columnar mirror must drop here exactly as it does
+            # for deletes, or a stale view would keep reporting the slot
+            # as a tombstone (update-then-query staleness)
             slot = self.free_slots.pop()
             self.records[slot] = record
             self.used_bytes += nbytes
@@ -70,6 +78,7 @@ class Page:
         record = self.record(slot)
         if record is None:
             raise StorageError(f"double tombstone of slot {slot} on page {self.page_no}")
+        self._colview = None
         self.used_bytes -= record.size()
         self.records[slot] = None
         self.free_slots.append(slot)
@@ -89,6 +98,23 @@ class Page:
             return self.records[slot]
         except IndexError:
             raise StorageError(f"bad slot {slot} on page {self.page_no}") from None
+
+    def colview(self) -> ColumnView:
+        """The page's columnar mirror, built lazily on first hot access."""
+        view = self._colview
+        if view is None:
+            view = self._colview = ColumnView(self)
+        return view
+
+    def invalidate_colview(self) -> None:
+        """Drop the columnar mirror after a direct record mutation.
+
+        :meth:`add` and :meth:`tombstone` invalidate automatically; any
+        code that mutates ``records`` entries, child-slot lists or
+        parent/local links *in place* (the update module does) must call
+        this itself — the coherence contract of the batched datapath.
+        """
+        self._colview = None
 
     def __len__(self) -> int:
         return len(self.records)

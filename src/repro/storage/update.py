@@ -123,6 +123,7 @@ def _relocate_closure(
     # child link keeps pointing at it
     page.free_slots.remove(slot)
     page.records[slot] = down
+    page.invalidate_colview()  # direct records[] write bypasses Page.add
     page.used_bytes += down.size()
     if target_page.page_no not in doc.page_nos:
         doc.page_nos.append(target_page.page_no)
@@ -257,8 +258,10 @@ def _split_child_list(segment: Segment, doc: StoredDocument, page: Page, holder,
         root_new = _move_closure(segment, page, target, closure, proxy_slot)
         proxy.child_slots.append(root_new)
         target.grow(4)
+    target.invalidate_colview()  # proxy child links appended in place
 
     del holder.child_slots[first_index:]
+    page.invalidate_colview()  # holder child list truncated in place
     page.used_bytes -= 4 * len(run)
     cont = BorderRecord(
         make_nodeid(target.page_no, proxy_slot), holder_slot, down=True, continuation=True
@@ -342,6 +345,8 @@ def _move_closure(
             )
             clone.child_slots = [mapping[s] for s in record.child_slots]
         page.tombstone(old_slot)
+    # the clones' links were patched after target.add() placed them
+    target.invalidate_colview()
     _move_closure.last_mapping = mapping  # type: ignore[attr-defined]
     return mapping[root_old]
 
@@ -442,6 +447,7 @@ def insert_node(
         slot = home_page.add(record)
         home_page.grow(link_cost)
         holder.child_slots.insert(list_index, slot)
+        home_page.invalidate_colview()  # holder child list grown in place
         new_nid = make_nodeid(home_page.page_no, slot)
     elif kind == Kind.ATTRIBUTE:
         # attributes must stay co-located with their owner (exports and
@@ -484,8 +490,10 @@ def insert_node(
         down_slot = home_page.add(down)
         home_page.grow(link_cost)
         holder.child_slots.insert(list_index, down_slot)
+        home_page.invalidate_colview()  # holder child list grown in place
         down.companion = make_nodeid(target_page.page_no, up_slot)
         up.companion = make_nodeid(home_page.page_no, down_slot)
+        target_page.invalidate_colview()  # up.local_slot patched after add
         if target_page.page_no not in doc.page_nos:
             doc.page_nos.append(target_page.page_no)
             doc.page_nos.sort()
@@ -532,6 +540,7 @@ def delete_subtree(store: DocumentStore, doc: StoredDocument, nid: NodeID) -> in
         holder.child_slots.remove(entry_slot)
     except ValueError:
         raise StorageError(f"corrupt child list while deleting {nid}") from None
+    parent_page.invalidate_colview()  # holder child list shrunk in place
     parent_page.used_bytes -= 4  # the removed child link
 
     # walk the subtree, crossing downward borders and continuation
