@@ -78,8 +78,9 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if "table3" in RESULTS:
         tr.write_line("")
         tr.write_line(format_table3(RESULTS["table3"]))
-    ablations = sorted(k for k in RESULTS if k.startswith("ablation_"))
-    for exp_id in ablations:
+    figures = ("fig9_q6", "fig10_q7", "fig11_q15", "table3")
+    extras = sorted(k for k in RESULTS if k not in figures)
+    for exp_id in extras:
         tr.write_line("")
         tr.write_line(f"--- {exp_id} ---")
         rows = RESULTS[exp_id]

@@ -22,7 +22,15 @@ Quickstart::
 
 from repro.axes import Axis
 from repro.engine import Database, Result
-from repro.exec import BatchOutcome, ExecutionEnvironment, QuerySession, run_batch
+from repro.exec import (
+    BatchOutcome,
+    DeleteOp,
+    ExecutionEnvironment,
+    InsertOp,
+    QuerySession,
+    SetValueOp,
+    run_batch,
+)
 from repro.obs import TraceEvent, TraceSummary, Tracer, format_metrics
 from repro.errors import (
     BudgetExceededError,
@@ -32,8 +40,11 @@ from repro.errors import (
     PlanError,
     ReproError,
     RequestLostError,
+    SimulatedCrashError,
     StorageError,
+    StoreCorruptError,
     UnsupportedQueryError,
+    WalCorruptError,
     XPathSyntaxError,
     XmlSyntaxError,
 )
@@ -46,7 +57,10 @@ from repro.algebra.context import (
 from repro.sim.costmodel import CostModel
 from repro.sim.disk import DiskGeometry, SchedulingPolicy
 from repro.sim.faults import (
+    CRASH_STEPS,
     PROFILES,
+    CrashInjector,
+    CrashPoint,
     FaultPlan,
     FaultProfile,
     RetryPolicy,
@@ -54,6 +68,7 @@ from repro.sim.faults import (
 )
 from repro.storage.importer import ClusterPolicy, ImportOptions
 from repro.storage.synopsis import ClusterSynopsis
+from repro.storage.wal import RecoveryReport, WriteAheadLog, recover_store
 from repro.xpath.compile import PlanKind
 
 __version__ = "1.0.0"
@@ -65,6 +80,15 @@ __all__ = [
     "QuerySession",
     "BatchOutcome",
     "run_batch",
+    "InsertOp",
+    "DeleteOp",
+    "SetValueOp",
+    "WriteAheadLog",
+    "RecoveryReport",
+    "recover_store",
+    "CrashPoint",
+    "CrashInjector",
+    "CRASH_STEPS",
     "Tracer",
     "TraceEvent",
     "TraceSummary",
@@ -88,6 +112,9 @@ __all__ = [
     "PlanKind",
     "ReproError",
     "StorageError",
+    "StoreCorruptError",
+    "WalCorruptError",
+    "SimulatedCrashError",
     "XmlSyntaxError",
     "XPathSyntaxError",
     "UnsupportedQueryError",

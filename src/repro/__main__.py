@@ -6,6 +6,14 @@ the simulated storage engine, comparing physical plans::
     python -m repro --xml doc.xml "count(//item)"
     python -m repro --xmark 0.1 --compare "count(/site/regions//item)"
     python -m repro --xmark 0.1 --explain --plan xscan "//keyword"
+
+With ``--wal FILE`` the store becomes durable: updates are write-ahead
+logged next to FILE and checkpointed into it.  After a crash,
+``python -m repro recover FILE`` loads the last checkpoint, replays the
+log's valid prefix and reports what was recovered::
+
+    python -m repro --xmark 0.1 --wal store.bin "count(//item)"
+    python -m repro recover store.bin "count(//item)"
 """
 
 from __future__ import annotations
@@ -43,6 +51,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--save", metavar="FILE", help="persist the store to FILE after loading"
+    )
+    parser.add_argument(
+        "--wal",
+        metavar="FILE",
+        default=None,
+        help="make the store durable: checkpoint it to FILE and write-ahead "
+        "log updates to FILE.wal (recover after a crash with "
+        "'python -m repro recover FILE')",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint automatically after every N logged update "
+        "operations (default: only on explicit checkpoint)",
     )
     parser.add_argument("queries", nargs="+", metavar="QUERY", help="XPath queries to run")
     parser.add_argument("--plan", choices=PLAN_CHOICES, default="auto")
@@ -175,6 +199,18 @@ def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
     return EvalOptions(**kwargs) if kwargs else None
 
 
+def _attach_wal(db: Database, args: argparse.Namespace) -> None:
+    if not args.wal:
+        return
+    wal = db.attach_wal(args.wal, checkpoint_every=args.checkpoint_every)
+    every = (
+        f", checkpoint every {args.checkpoint_every} ops"
+        if args.checkpoint_every
+        else ""
+    )
+    print(f"durable: checkpoint {args.wal}, log {wal.wal_path}{every}")
+
+
 def load_database(args: argparse.Namespace, tracer: Tracer | None = None) -> Database:
     faults = fault_profile(args.faults) if args.faults else None
     options = eval_options_from(args)
@@ -196,6 +232,7 @@ def load_database(args: argparse.Namespace, tracer: Tracer | None = None) -> Dat
             f"document: {doc.n_nodes} nodes on {doc.n_pages} pages "
             f"({doc.n_border_pairs} border pairs)"
         )
+        _attach_wal(db, args)
         return db
     db = Database(
         page_size=args.page_size,
@@ -221,6 +258,7 @@ def load_database(args: argparse.Namespace, tracer: Tracer | None = None) -> Dat
         f"document: {doc.n_nodes} nodes on {doc.n_pages} pages "
         f"({doc.n_border_pairs} border pairs)"
     )
+    _attach_wal(db, args)
     return db
 
 
@@ -287,7 +325,85 @@ def run_repeated(db, session, query: str, plan: str, args: argparse.Namespace) -
         print(format_metrics(results[-1].trace_summary))
 
 
+def build_recover_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro recover",
+        description="Recover a durable store: load the last checkpoint, "
+        "replay the write-ahead log's valid prefix, report what survived, "
+        "and optionally run queries against the recovered document",
+    )
+    parser.add_argument("store", metavar="FILE", help="checkpoint store file")
+    parser.add_argument(
+        "queries", nargs="*", metavar="QUERY", help="XPath queries to run after recovery"
+    )
+    parser.add_argument(
+        "--wal",
+        metavar="FILE",
+        default=None,
+        help="write-ahead log path (default: the store path + '.wal')",
+    )
+    parser.add_argument("--plan", choices=PLAN_CHOICES, default="auto")
+    parser.add_argument("--buffer-pages", type=int, default=256)
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="checkpoint the recovered state back into the store file "
+        "(folds the replayed tail in and truncates the log)",
+    )
+    parser.add_argument(
+        "--show-nodes", type=int, default=5, metavar="N", help="print up to N result nodes"
+    )
+    return parser
+
+
+def run_recover(argv: list[str]) -> int:
+    args = build_recover_parser().parse_args(argv)
+    try:
+        db, report = Database.recover(
+            args.store, buffer_pages=args.buffer_pages, wal_path=args.wal
+        )
+        print(
+            f"recovered {args.store}: checkpoint LSN {report.checkpoint_lsn}, "
+            f"last LSN {report.last_lsn} ({report.replayed} entries replayed, "
+            f"{report.skipped} already checkpointed)"
+        )
+        if report.torn_tail:
+            print("  torn log tail discarded (crash mid-append; entry was never acknowledged)")
+        if report.touched_pages:
+            pages = ", ".join(str(p) for p in report.touched_pages)
+            print(f"  synopsis repaired for pages: {pages}")
+        name = next(iter(db.store.documents))
+        if name != "doc":
+            db.store.documents["doc"] = db.store.documents[name]
+        doc = db.document("doc")
+        print(
+            f"document: {doc.n_nodes} nodes on {doc.n_pages} pages "
+            f"({doc.n_border_pairs} border pairs)"
+        )
+        if args.checkpoint:
+            wal = db.attach_wal(args.store, wal_path=args.wal)
+            wal.checkpoint()
+            print(f"checkpointed recovered state to {args.store}")
+        session = db.session()
+        for query in args.queries:
+            print(f"\n{query}")
+            try:
+                result = session.execute(query, doc="doc", plan=args.plan)
+            except ReproError as error:
+                print(f"  {args.plan:<14s} error: {error}")
+                continue
+            print_result(db, args.plan, result, args.show_nodes)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "recover":
+        return run_recover(argv[1:])
     args = build_parser().parse_args(argv)
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)

@@ -41,6 +41,7 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
         "storage/update.py",
         "storage/store.py",
         "storage/ordpath.py",
+        "storage/wal.py",
         "sim/disk.py",
     ),
     # every Stats increment needs a guarded Tracer.count mirror
@@ -67,7 +68,9 @@ class ReplintConfig:
     assert_exempt_functions: frozenset[str] = frozenset({"check"})
     #: attribute/parameter names treated as optional feature slots by the
     #: feature-gate and tracer-mirror rules
-    feature_names: frozenset[str] = frozenset({"tracer", "synopsis", "batched", "faults"})
+    feature_names: frozenset[str] = frozenset(
+        {"tracer", "synopsis", "batched", "faults", "wal", "crash"}
+    )
     #: Stats counter names the tracer-mirror rule watches
     stats_fields: frozenset[str] = field(default_factory=_stats_field_names)
 

@@ -163,6 +163,11 @@ class Database:
             tracer=tracer,
         )
         self.geometry = self.env.geometry
+        #: durability manager (:class:`repro.storage.wal.WriteAheadLog`);
+        #: None = updates are in-memory only (the default).  Attach with
+        #: :meth:`attach_wal`.  The query datapath never consults this —
+        #: the WAL is provably free when off.
+        self.wal = None
 
     # ------------------------------------------------------------- loading
 
@@ -298,10 +303,92 @@ class Database:
     # --------------------------------------------------------- persistence
 
     def save(self, path: str) -> None:
-        """Persist the store (all documents) to a binary file."""
+        """Persist the store (all documents) to a binary file.
+
+        The write is atomic (temp file, fsync, rename): a crash mid-save
+        leaves the previous file intact.
+        """
         from repro.storage.persist import save_store
 
         save_store(self.store, path)
+
+    # ---------------------------------------------------------- durability
+
+    def attach_wal(
+        self,
+        path: str,
+        checkpoint_every: int | None = None,
+        wal_path: str | None = None,
+        crash=None,
+    ):
+        """Put this database's store under write-ahead logging.
+
+        Checkpoints the store to ``path`` immediately (atomically) and
+        opens ``wal_path`` (default ``path + ".wal"``); from here on,
+        route updates through ``db.wal`` (or a session's update methods)
+        so they are durable.  ``checkpoint_every=N`` folds the log into
+        a fresh image every N logged operations.  ``crash`` is a
+        :class:`~repro.sim.faults.CrashInjector` for kill-and-recover
+        tests.  Returns the manager, also available as ``self.wal``.
+        """
+        from repro.storage.wal import WriteAheadLog
+
+        if self.wal is not None:
+            raise ReproError("a write-ahead log is already attached")
+        self.wal = WriteAheadLog.create(
+            self.store,
+            path,
+            wal_path=wal_path,
+            checkpoint_every=checkpoint_every,
+            crash=crash,
+        )
+        return self.wal
+
+    @classmethod
+    def recover(
+        cls,
+        path: str,
+        buffer_pages: int = 256,
+        geometry: DiskGeometry | None = None,
+        disk_policy: SchedulingPolicy = SchedulingPolicy.SSTF,
+        costs: CostModel | None = None,
+        eval_options: EvalOptions | None = None,
+        collect_statistics: bool = False,
+        faults: FaultProfile | None = None,
+        tracer: Tracer | None = None,
+        wal_path: str | None = None,
+    ) -> tuple["Database", "object"]:
+        """Open a database from a checkpoint + WAL pair after a crash.
+
+        Loads the last good checkpoint at ``path``, replays the valid
+        prefix of ``wal_path`` (default ``path + ".wal"``) and returns
+        ``(db, report)`` (a
+        :class:`~repro.storage.wal.RecoveryReport`).  Statistics are
+        *not* recollected by default: a store that lived through updates
+        has none either, so the recovered database plans exactly like
+        the uncrashed one would — pass ``collect_statistics=True`` to
+        rebuild them.  Call :meth:`attach_wal` afterwards to resume
+        durable operation (it checkpoints, collapsing the replayed log).
+        """
+        from repro.storage.store import recollect_statistics
+        from repro.storage.wal import recover_store
+
+        store, report = recover_store(path, wal_path=wal_path)
+        db = cls(
+            page_size=store.segment.page_size,
+            buffer_pages=buffer_pages,
+            geometry=geometry,
+            disk_policy=disk_policy,
+            costs=costs,
+            eval_options=eval_options,
+            store=store,
+            faults=faults,
+            tracer=tracer,
+        )
+        if collect_statistics:
+            for doc in store.documents.values():
+                recollect_statistics(store, doc)
+        return db, report
 
     @classmethod
     def load(

@@ -29,6 +29,36 @@ class StoreCorruptError(StorageError):
     """
 
 
+class WalCorruptError(StoreCorruptError):
+    """The write-ahead log failed a structural validity check.
+
+    Raised for damage *before* the log's tail — a bad magic number, an
+    unsupported version, an LSN that jumps backwards.  A torn or
+    checksum-failing **tail** is not an error: recovery stops cleanly at
+    the last valid entry instead (the expected shape of a crash).
+    """
+
+
+class SimulatedCrashError(ReproError):
+    """A deterministic crash point fired (kill-and-recover testing).
+
+    Raised by :class:`repro.sim.faults.CrashInjector` at the Nth
+    occurrence of a durability step (WAL append, checkpoint page write,
+    rename, ...).  Models the process dying at that instant: whatever
+    bytes reached the OS before the raise are on disk — possibly a torn
+    write — and everything in memory is lost.  Test harnesses catch this
+    error, then call :func:`repro.storage.wal.recover_store` on the
+    files left behind.
+    """
+
+    def __init__(self, step: str, occurrence: int) -> None:
+        super().__init__(
+            f"simulated crash at durability step {step!r} (occurrence {occurrence})"
+        )
+        self.step = step
+        self.occurrence = occurrence
+
+
 class BufferError_(StorageError):
     """The buffer manager could not satisfy a fix request.
 

@@ -14,9 +14,24 @@ physical algebra (see ``docs/execution.md``):
 
 from repro.exec.environment import ExecutionEnvironment
 
-__all__ = ["ExecutionEnvironment", "QuerySession", "BatchOutcome", "run_batch"]
+__all__ = [
+    "ExecutionEnvironment",
+    "QuerySession",
+    "BatchOutcome",
+    "run_batch",
+    "InsertOp",
+    "DeleteOp",
+    "SetValueOp",
+]
 
-_LAZY = {"QuerySession": "session", "BatchOutcome": "batch", "run_batch": "batch"}
+_LAZY = {
+    "QuerySession": "session",
+    "BatchOutcome": "batch",
+    "run_batch": "batch",
+    "InsertOp": "batch",
+    "DeleteOp": "batch",
+    "SetValueOp": "batch",
+}
 
 
 def __getattr__(name: str):

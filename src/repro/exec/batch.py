@@ -28,21 +28,58 @@ finished-at timing on the shared clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.algebra.concurrent import interleave
 from repro.algebra.multiscan import shared_scan
 from repro.engine import Result
 from repro.errors import PlanError, UnsupportedQueryError
+from repro.model.tree import Kind
 from repro.sim.stats import Stats
+from repro.storage.nodeid import NodeID
 from repro.xpath.compile import CompiledQuery, PlanKind
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """Batch request: insert a node (see :meth:`QuerySession.insert
+    <repro.exec.session.QuerySession.insert>`).  ``doc=None`` targets
+    the batch's default document."""
+
+    parent: NodeID
+    position: int
+    tag_name: str
+    kind: Kind = Kind.ELEMENT
+    value: str | None = None
+    doc: str | None = None
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Batch request: delete the subtree rooted at ``nid``."""
+
+    nid: NodeID
+    doc: str | None = None
+
+
+@dataclass(frozen=True)
+class SetValueOp:
+    """Batch request: replace a text/attribute value."""
+
+    nid: NodeID
+    value: str = ""
+    doc: str | None = None
+
+
+#: request types recognised as update operations
+UPDATE_OPS = (InsertOp, DeleteOp, SetValueOp)
 
 
 @dataclass
 class BatchOutcome:
     """Aggregate outcome of one :func:`run_batch` call."""
 
-    results: list[Result]  #: per-query results, in request order
+    results: list[Result]  #: per-request results, in request order
     total_time: float  #: simulated makespan of the whole batch
     cpu_time: float
     io_wait: float
@@ -52,6 +89,8 @@ class BatchOutcome:
     #: trace rollups for the whole batch (``None`` without a tracer);
     #: shared by every per-query result, like ``stats``
     trace_summary: object | None = None
+    #: update operations applied between the batch's query runs
+    updates: int = field(default=0)
 
     @property
     def makespan(self) -> float:
@@ -80,31 +119,41 @@ def _pure_scan(compiled: CompiledQuery) -> bool:
     )
 
 
-def run_batch(
+def _run_queries(
     session,
-    requests,
-    doc: str = "default",
-    plan: PlanKind | str = PlanKind.AUTO,
-) -> BatchOutcome:
-    """Execute a batch of queries over one shared runtime.
+    shared,
+    raw: list,
+    indices: list[int],
+    doc: str,
+    plan,
+    outcomes: list,
+    labels: list,
+    plan_kinds_by: list,
+) -> tuple[int, int]:
+    """Execute one run of query requests on the shared runtime.
 
-    ``requests`` is a list of query strings or ``(query[, doc[, plan]])``
-    tuples; ``doc``/``plan`` supply the defaults.  Compilation goes
-    through ``session``'s plan cache; warm sessions run the batch on
-    their persistent runtime.
+    This is the original (pure-query) batch body parametrised by the
+    request indices it serves: compile through the session cache, route
+    onto the shared scan / shared disk queue, resolve.  Compilation
+    happens here — per run, not per batch — so queries that follow an
+    update run are planned against the post-update document.  Returns
+    ``(scan_members, queue_members)`` counts.
     """
-    reqs = [_normalize(r, doc, plan) for r in requests]
-    if not reqs:
-        raise PlanError("run_batch needs at least one request")
-    compiled: list[CompiledQuery] = [
-        session.prepare(q, d, k, session.options) for q, d, k in reqs
-    ]
+    reqs = {index: _normalize(raw[index], doc, plan) for index in indices}
+    compiled: dict[int, CompiledQuery] = {
+        index: session.prepare(q, d, k, session.options)
+        for index, (q, d, k) in reqs.items()
+    }
+    for index, (query, rdoc, _) in reqs.items():
+        labels[index] = (query, rdoc)
 
     # ---- route: shared scan per document vs. shared disk queue
     scan_groups: dict[int, list[int]] = {}  # id(document) -> request indices
     queue_members: list[int] = []
     promotable: dict[int, list[tuple[int, CompiledQuery]]] = {}
-    for index, ((query, rdoc, kind), cq) in enumerate(zip(reqs, compiled)):
+    for index in indices:
+        query, rdoc, kind = reqs[index]
+        cq = compiled[index]
         if _pure_scan(cq):
             scan_groups.setdefault(id(cq.path_plans()[0].document), []).append(index)
         elif kind is PlanKind.AUTO:
@@ -130,18 +179,12 @@ def run_batch(
             queue_members.extend(index for index, _ in members)
     queue_members.sort()
 
-    shared = session.context(session.options)
-    mark = shared.clock.checkpoint()
-    before = shared.stats.snapshot()
     tracer = shared.tracer
-    trace_mark = tracer.mark() if tracer is not None else None
     if tracer is not None:
         scan_members = sum(len(members) for members in scan_groups.values())
         tracer.batch_event(
-            shared.clock.now, len(reqs), scan_members, len(queue_members)
+            shared.clock.now, len(indices), scan_members, len(queue_members)
         )
-    #: per request: (value, nodes, clock checkpoint, degradation report)
-    outcomes: list[tuple | None] = [None] * len(reqs)
 
     def _report(view):
         partial = any(e.reason == "budget" for e in view.degradation_events)
@@ -185,30 +228,141 @@ def run_batch(
         ):
             outcomes[index] = outcome + (_report(view),)
 
-    # ---- per-query results with shared-I/O attribution
+    for index in indices:
+        plan_kinds_by[index] = compiled[index].plan_kinds
+    scan_count = sum(len(members) for members in scan_groups.values())
+    return scan_count, len(queue_members)
+
+
+def _apply_one_update(
+    session, shared, op, doc: str, outcomes: list, labels: list, index: int
+) -> None:
+    """Apply one update request through the session (WAL-routed when
+    attached) and synthesize its per-request outcome entry."""
+    target = op.doc if op.doc is not None else doc
+    if isinstance(op, InsertOp):
+        nid = session.insert(
+            target, op.parent, op.position, op.tag_name, op.kind, op.value
+        )
+        value: float | None = None
+        nodes: list[NodeID] | None = [nid]
+        label = f"insert({op.tag_name})"
+    elif isinstance(op, DeleteOp):
+        removed = session.delete(target, op.nid)
+        value, nodes = float(removed), None
+        label = "delete"
+    else:
+        session.set_value(target, op.nid, op.value)
+        value, nodes = None, None
+        label = "set-value"
+    labels[index] = (label, target)
+    outcomes[index] = (value, nodes, shared.clock.checkpoint(), None)
+
+
+def _apply_updates(
+    session, shared, raw: list, indices: range, doc: str, outcomes: list, labels: list
+) -> None:
+    """Apply one run of update requests, in order.
+
+    With a WAL attached, the whole run rides one group-commit window —
+    the batch flush policy: one fsync per update run instead of one per
+    operation (operations inside the run are not durable until the run
+    ends; see :meth:`~repro.storage.wal.WriteAheadLog.group_commit`).
+    """
+    wal = session.db.wal
+    if wal is not None:
+        with wal.group_commit():
+            for index in indices:
+                _apply_one_update(session, shared, raw[index], doc, outcomes, labels, index)
+    else:
+        for index in indices:
+            _apply_one_update(session, shared, raw[index], doc, outcomes, labels, index)
+
+
+def run_batch(
+    session,
+    requests,
+    doc: str = "default",
+    plan: PlanKind | str = PlanKind.AUTO,
+) -> BatchOutcome:
+    """Execute a batch of queries and updates over one shared runtime.
+
+    ``requests`` is a list of query strings, ``(query[, doc[, plan]])``
+    tuples, or update operations (:class:`InsertOp`, :class:`DeleteOp`,
+    :class:`SetValueOp`); ``doc``/``plan`` supply the defaults.  The
+    batch is processed in request order as maximal runs: consecutive
+    queries share scans and the disk queue exactly as before (a batch
+    without updates takes the historical code path unchanged), and
+    consecutive updates apply in order under one WAL group-commit
+    window.  Queries after an update run see the updated document and
+    are compiled against it.
+
+    Update requests yield synthesized results (``plan_kinds=[]``; an
+    insert's ``nodes`` holds the minted NodeID, a delete's ``value`` the
+    removed-node count); updates consume no simulated time — maintenance
+    cost modeling stays out of scope, as in the paper.
+    """
+    raw = list(requests)
+    if not raw:
+        raise PlanError("run_batch needs at least one request")
+
+    shared = session.context(session.options)
+    mark = shared.clock.checkpoint()
+    before = shared.stats.snapshot()
+    tracer = shared.tracer
+    trace_mark = tracer.mark() if tracer is not None else None
+
+    n = len(raw)
+    #: per request: (value, nodes, clock checkpoint, degradation report)
+    outcomes: list[tuple | None] = [None] * n
+    labels: list[tuple[str, str] | None] = [None] * n
+    plan_kinds_by: list[list[PlanKind]] = [[] for _ in range(n)]
+    scan_count = 0
+    queue_count = 0
+    updates_count = 0
+
+    index = 0
+    while index < n:
+        is_update = isinstance(raw[index], UPDATE_OPS)
+        end = index
+        while end < n and isinstance(raw[end], UPDATE_OPS) == is_update:
+            end += 1
+        if is_update:
+            _apply_updates(session, shared, raw, range(index, end), doc, outcomes, labels)
+            updates_count += end - index
+        else:
+            sc, qc = _run_queries(
+                session, shared, raw, list(range(index, end)), doc, plan,
+                outcomes, labels, plan_kinds_by,
+            )
+            scan_count += sc
+            queue_count += qc
+        index = end
+
+    # ---- per-request results with shared-I/O attribution
     batch_stats = shared.stats.diff(before)
     total, cpu, io_wait = shared.clock.since(mark)
     batch_summary = tracer.summary(since=trace_mark) if tracer is not None else None
     results: list[Result] = []
-    for (query, rdoc, _), cq, outcome in zip(reqs, compiled, outcomes):
-        value, nodes, checkpoint, degradation = outcome
+    for position in range(n):
+        value, nodes, checkpoint, degradation = outcomes[position]
+        query, rdoc = labels[position]
         results.append(
             Result(
                 query=query,
                 doc=rdoc,
-                plan_kinds=cq.plan_kinds,
+                plan_kinds=plan_kinds_by[position],
                 value=value,
                 nodes=nodes,
                 total_time=checkpoint[0] - mark[0],
                 cpu_time=checkpoint[1] - mark[1],
                 io_wait=checkpoint[2] - mark[2],
                 stats=batch_stats,
-                shared_io_queries=len(reqs),
+                shared_io_queries=n,
                 degradation=degradation,
                 trace_summary=batch_summary,
             )
         )
-    scan_count = sum(len(members) for members in scan_groups.values())
     outcome = BatchOutcome(
         results=results,
         total_time=total,
@@ -216,8 +370,9 @@ def run_batch(
         io_wait=io_wait,
         stats=batch_stats,
         scan_shared=scan_count,
-        interleaved=len(queue_members),
+        interleaved=queue_count,
         trace_summary=batch_summary,
+        updates=updates_count,
     )
     session._account_batch(outcome)
     return outcome

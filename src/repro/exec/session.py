@@ -24,7 +24,9 @@ from collections import OrderedDict
 
 from repro.algebra.context import EvalContext, EvalOptions
 from repro.engine import Database, Result
+from repro.model.tree import Kind
 from repro.sim.stats import Stats
+from repro.storage.nodeid import NodeID
 from repro.xpath.compile import CompiledQuery, PlanKind
 
 
@@ -52,6 +54,8 @@ class QuerySession:
         #: aggregate accounting across every run of this session
         self.runs = 0
         self.degraded_runs = 0
+        #: update operations routed through this session
+        self.updates = 0
         self.stats = Stats()
         self.total_time = 0.0
         self.cpu_time = 0.0
@@ -170,6 +174,68 @@ class QuerySession:
 
         return run_batch(self, requests, doc=doc, plan=plan)
 
+    # ----------------------------------------------------------- updates
+
+    def insert(
+        self,
+        doc: str,
+        parent: NodeID,
+        position: int,
+        tag_name: str,
+        kind: Kind = Kind.ELEMENT,
+        value: str | None = None,
+    ) -> NodeID:
+        """Insert a node, durably when the database has a WAL attached.
+
+        With ``db.wal`` set the operation is applied, synopsis-repaired
+        and logged (fsynced per operation unless inside a group-commit
+        window); without one it applies in memory only.  Structural
+        updates drop the compiled-plan cache: cached AUTO choices were
+        costed against pre-update statistics.
+        """
+        wal = self.db.wal
+        if wal is not None:
+            nid = wal.insert(doc, parent, position, tag_name, kind, value)
+        else:
+            from repro.storage.update import insert_node
+
+            store = self.db.store
+            nid = insert_node(
+                store, store.document(doc), parent, position, tag_name, kind, value
+            )
+        self.updates += 1
+        self.clear_cache()
+        return nid
+
+    def delete(self, doc: str, nid: NodeID) -> int:
+        """Delete a subtree (durably with a WAL attached); returns the
+        number of core nodes removed."""
+        wal = self.db.wal
+        if wal is not None:
+            removed = wal.delete(doc, nid)
+        else:
+            from repro.storage.update import delete_subtree
+
+            store = self.db.store
+            removed = delete_subtree(store, store.document(doc), nid)
+        self.updates += 1
+        self.clear_cache()
+        return removed
+
+    def set_value(self, doc: str, nid: NodeID, value: str) -> None:
+        """Replace a text/attribute value (durably with a WAL attached).
+
+        Value updates change no structure, so cached plans stay valid.
+        """
+        wal = self.db.wal
+        if wal is not None:
+            wal.set_value(doc, nid, value)
+        else:
+            from repro.storage.update import update_value
+
+            update_value(self.db.store, nid, value)
+        self.updates += 1
+
     # -------------------------------------------------------- accounting
 
     def _account(self, result: Result) -> None:
@@ -182,8 +248,12 @@ class QuerySession:
         self.io_wait += result.io_wait
 
     def _account_batch(self, outcome) -> None:
-        """Merge a batch's shared accounting once (not once per query)."""
-        self.runs += len(outcome.results)
+        """Merge a batch's shared accounting once (not once per query).
+
+        Update requests are counted by the per-op session methods (via
+        :attr:`updates`), so only the query requests add to :attr:`runs`.
+        """
+        self.runs += len(outcome.results) - outcome.updates
         self.degraded_runs += sum(1 for r in outcome.results if r.degraded)
         self.stats.merge(outcome.stats)
         self.total_time += outcome.total_time

@@ -28,8 +28,9 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, replace
+from typing import BinaryIO
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulatedCrashError
 
 
 def _unit(seed: int, page: int, n: int, salt: str) -> float:
@@ -165,6 +166,116 @@ class FaultPlan:
             f"FaultPlan({self.profile.name!r}, errors={self.injected_errors}, "
             f"losses={self.injected_losses}, spikes={self.injected_spikes})"
         )
+
+
+# --------------------------------------------------------------- crashes
+#
+# Where the fault profiles above model a *misbehaving but running*
+# physical layer, a crash point models the process dying outright in the
+# middle of a durability step.  The same determinism rules apply: a
+# crash point is a pure function of (step, occurrence count), so a
+# kill-and-recover sweep replays byte-identical crashes on every run.
+
+#: Durability steps a :class:`CrashPoint` may target.  Write-shaped
+#: steps (``wal-append``, ``page-write``) honour ``torn_fraction``:
+#: that fraction of the payload reaches the file before the crash,
+#: leaving a torn write for recovery to detect.
+CRASH_WAL_APPEND = "wal-append"  #: appending one WAL entry
+CRASH_PAGE_WRITE = "page-write"  #: writing one page-sized checkpoint chunk
+CRASH_CHECKPOINT_TEMP = "checkpoint-temp"  #: temp image written + fsynced
+CRASH_CHECKPOINT_RENAME = "checkpoint-rename"  #: temp image installed (post-rename)
+CRASH_WAL_TRUNCATE = "wal-truncate"  #: resetting the log after a checkpoint
+CRASH_UPDATE_APPLY = "update-apply"  #: mid-flight inside a structural update
+
+CRASH_STEPS = (
+    CRASH_WAL_APPEND,
+    CRASH_PAGE_WRITE,
+    CRASH_CHECKPOINT_TEMP,
+    CRASH_CHECKPOINT_RENAME,
+    CRASH_WAL_TRUNCATE,
+    CRASH_UPDATE_APPLY,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPoint:
+    """Declarative crash: die at the ``at``-th occurrence of ``step``.
+
+    ``torn_fraction`` only matters for write-shaped steps: it is the
+    fraction of the payload that reaches the file before the process
+    dies (0.0 = crash before any byte, 0.5 = a half-written torn entry).
+    Values must stay below 1.0 — a fully written payload is not a crash
+    *during* the write.
+    """
+
+    step: str
+    at: int = 1
+    torn_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.step not in CRASH_STEPS:
+            known = ", ".join(CRASH_STEPS)
+            raise ReproError(f"unknown crash step {self.step!r} (known: {known})")
+        if self.at < 1:
+            raise ReproError(f"crash occurrence must be >= 1, got {self.at}")
+        if not 0.0 <= self.torn_fraction < 1.0:
+            raise ReproError(
+                f"torn_fraction must be in [0, 1), got {self.torn_fraction}"
+            )
+
+
+class CrashInjector:
+    """Per-run occurrence counters over one :class:`CrashPoint`.
+
+    The durability layer calls :meth:`check` at non-write steps and
+    routes payload writes through :meth:`write`; when the configured
+    occurrence is reached, :class:`~repro.errors.SimulatedCrashError`
+    is raised (after tearing the in-flight write, if any).  ``tripped``
+    records that the crash fired, so harnesses can assert the sweep
+    actually covered the point it configured.
+    """
+
+    __slots__ = ("point", "tripped", "_counts")
+
+    def __init__(self, point: CrashPoint) -> None:
+        self.point = point
+        self.tripped = False
+        self._counts: dict[str, int] = {}
+
+    def _hit(self, step: str) -> bool:
+        n = self._counts.get(step, 0) + 1
+        self._counts[step] = n
+        return step == self.point.step and n == self.point.at
+
+    def check(self, step: str) -> None:
+        """Count one occurrence of ``step``; die if this is the one."""
+        if self._hit(step):
+            self.tripped = True
+            raise SimulatedCrashError(step, self.point.at)
+
+    def write(self, step: str, out: BinaryIO, data: bytes) -> None:
+        """Write ``data`` to ``out``, tearing it at the crash occurrence.
+
+        On the fatal occurrence only ``torn_fraction`` of the payload is
+        written (and flushed, so it is really on disk) before the raise;
+        on every other occurrence the payload is written whole.
+        """
+        if not self._hit(step):
+            out.write(data)
+            return
+        self.tripped = True
+        torn = int(len(data) * self.point.torn_fraction)
+        if torn:
+            out.write(data[:torn])
+            out.flush()
+        raise SimulatedCrashError(step, self.point.at)
+
+    def occurrences(self, step: str) -> int:
+        """How many times ``step`` has been counted so far."""
+        return self._counts.get(step, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrashInjector({self.point!r}, tripped={self.tripped})"
 
 
 @dataclass(frozen=True, slots=True)

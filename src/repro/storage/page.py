@@ -8,6 +8,7 @@ position used by the disk model's seek calculation.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Iterator, Union
 
 from repro.errors import StorageError
@@ -28,9 +29,25 @@ class Page:
     Slots are stable: deleting a record leaves a tombstone (``None``)
     whose slot-directory entry may later be reused by :meth:`add`, so
     NodeIDs of other records are never invalidated.
+
+    ``free_slots`` is kept sorted ascending and :meth:`add` always reuses
+    the *highest* free slot.  The order is a durability invariant, not a
+    style choice: persistence rebuilds the free list by scanning slots in
+    ascending order, so canonicalising the live list the same way makes
+    slot reuse — and therefore the NodeIDs minted by replayed updates —
+    identical between a store that kept running and one that was
+    recovered from a checkpoint (see ``docs/robustness.md``).
     """
 
-    __slots__ = ("page_no", "capacity", "records", "used_bytes", "free_slots", "_colview")
+    __slots__ = (
+        "page_no",
+        "capacity",
+        "records",
+        "used_bytes",
+        "free_slots",
+        "version",
+        "_colview",
+    )
 
     def __init__(self, page_no: int, capacity: int) -> None:
         self.page_no = page_no
@@ -38,6 +55,11 @@ class Page:
         self.records: list[Record | None] = []
         self.used_bytes = PAGE_HEADER
         self.free_slots: list[int] = []
+        #: mutation counter: bumped by every record/byte mutation, never
+        #: by reads.  The WAL manager snapshots it to find pages touched
+        #: by an update run (incremental synopsis repair); it is runtime
+        #: state and is not persisted.
+        self.version = 0
         #: lazily built columnar mirror; None = not built or invalidated
         self._colview: ColumnView | None = None
 
@@ -59,11 +81,14 @@ class Page:
                 f"{self.free_bytes()} free"
             )
         self._colview = None
+        self.version += 1
         if self.free_slots:
             # reusing a tombstoned slot mutates the middle of the record
             # array: the columnar mirror must drop here exactly as it does
             # for deletes, or a stale view would keep reporting the slot
-            # as a tombstone (update-then-query staleness)
+            # as a tombstone (update-then-query staleness).  The list is
+            # sorted ascending, so pop() reuses the highest free slot —
+            # the canonical choice replay reproduces after recovery.
             slot = self.free_slots.pop()
             self.records[slot] = record
             self.used_bytes += nbytes
@@ -79,9 +104,10 @@ class Page:
         if record is None:
             raise StorageError(f"double tombstone of slot {slot} on page {self.page_no}")
         self._colview = None
+        self.version += 1
         self.used_bytes -= record.size()
         self.records[slot] = None
-        self.free_slots.append(slot)
+        insort(self.free_slots, slot)
 
     def grow(self, extra_bytes: int) -> None:
         """Account for a record growing in place (e.g. a new child link).
@@ -91,6 +117,7 @@ class Page:
         """
         if self.used_bytes + extra_bytes > self.capacity:
             raise StorageError(f"page {self.page_no} overflow while growing a record")
+        self.version += 1
         self.used_bytes += extra_bytes
 
     def record(self, slot: int) -> Record:
@@ -113,8 +140,11 @@ class Page:
         code that mutates ``records`` entries, child-slot lists or
         parent/local links *in place* (the update module does) must call
         this itself — the coherence contract of the batched datapath.
+        Those in-place mutations bump :attr:`version` through this call,
+        which is why it also feeds touched-page detection.
         """
         self._colview = None
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self.records)

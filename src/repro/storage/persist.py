@@ -9,6 +9,8 @@ safe to load).
 Format (all integers little-endian)::
 
     header:   magic "RPRO" | u16 version | u32 page_size
+              | u64 checkpoint_lsn | u32 body_crc32 | u64 body_len (v3+)
+    body:     tags | pages | catalog                 (crc32-covered in v3+)
     tags:     u32 count | count x (u16 len | utf-8 bytes)
     pages:    u32 count | count x page
     page:     u32 page_no | u32 used_bytes | u32 n_slots | n_slots x record
@@ -30,20 +32,39 @@ Format (all integers little-endian)::
               | u8 flags | u32 occupancy
     bitset:   u16 n_bytes | n_bytes little-endian bytes
 
-Version 1 files (no synopsis block) still load; their documents come
-back with ``synopsis=None``.  Statistics and import results are not
-persisted; use :func:`repro.storage.store.recollect_statistics` /
+Version 3 adds durability to the *file*, not the layout: the body bytes
+are identical to version 2, but the header carries the checkpoint LSN
+(see :mod:`repro.storage.wal`), a CRC32 over the body, and the body
+length — so a torn or bit-rotted checkpoint is *detected* at load time
+(:class:`~repro.errors.StoreCorruptError`) instead of silently parsed.
+:func:`save_store` is atomic: the image is written to ``path + ".tmp"``,
+fsynced, then installed with :func:`os.replace`, so a crash mid-save
+leaves the previous checkpoint intact.  Version 1 files (no synopsis
+block) and version 2 files (no checksum) still load; short reads at any
+offset raise typed :class:`~repro.errors.StoreCorruptError` with offset
+context, never a bare :class:`struct.error`.
+
+Statistics and import results are not persisted; use
+:func:`repro.storage.store.recollect_statistics` /
 :func:`~repro.storage.store.recollect_synopsis` after loading if the
 AUTO plan chooser and the pruning layers should have them.
 """
 
 from __future__ import annotations
 
+import io
+import os
 import struct
-from typing import BinaryIO
+import zlib
+from typing import TYPE_CHECKING, BinaryIO
 
 from repro.errors import StorageError, StoreCorruptError
 from repro.model.tree import Kind
+from repro.sim.faults import (
+    CRASH_CHECKPOINT_RENAME,
+    CRASH_CHECKPOINT_TEMP,
+    CRASH_PAGE_WRITE,
+)
 from repro.storage.nodeid import NodeID
 from repro.storage.ordpath import OrdPath
 from repro.storage.page import Page
@@ -51,9 +72,33 @@ from repro.storage.record import BorderRecord, CoreRecord
 from repro.storage.store import DocumentStore, StoredDocument
 from repro.storage.synopsis import ClusterSynopsis
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import CrashInjector
+
 _MAGIC = b"RPRO"
-_VERSION = 2
+_VERSION = 3
 _MIN_VERSION = 1
+
+#: v3 header tail after ``magic | u16 version | u32 page_size``:
+#: ``u64 checkpoint_lsn | u32 body_crc32 | u64 body_len``.
+_HEADER_V3 = struct.Struct("<QIQ")
+
+
+def _read_exact(inp: BinaryIO, n: int, what: str) -> bytes:
+    """Read exactly ``n`` bytes or raise a typed corruption error.
+
+    Every read in this module funnels through here so a truncated file
+    surfaces as :class:`StoreCorruptError` with offset context instead
+    of a bare :class:`struct.error` from an undersized buffer.
+    """
+    data = inp.read(n)
+    if len(data) != n:
+        offset = inp.tell() - len(data)
+        raise StoreCorruptError(
+            f"truncated store data: wanted {n} byte(s) of {what} at "
+            f"offset {offset}, got {len(data)}"
+        )
+    return data
 
 
 def _write_str(out: BinaryIO, text: str) -> None:
@@ -62,9 +107,9 @@ def _write_str(out: BinaryIO, text: str) -> None:
     out.write(data)
 
 
-def _read_str(inp: BinaryIO) -> str:
-    (length,) = struct.unpack("<H", inp.read(2))
-    return inp.read(length).decode("utf-8")
+def _read_str(inp: BinaryIO, what: str) -> str:
+    (length,) = struct.unpack("<H", _read_exact(inp, 2, what))
+    return _read_exact(inp, length, what).decode("utf-8")
 
 
 def _write_value(out: BinaryIO, value: str | None) -> None:
@@ -78,11 +123,11 @@ def _write_value(out: BinaryIO, value: str | None) -> None:
 
 
 def _read_value(inp: BinaryIO) -> str | None:
-    present = inp.read(1)
+    present = _read_exact(inp, 1, "value marker")
     if present == b"\x00":
         return None
-    (length,) = struct.unpack("<I", inp.read(4))
-    return inp.read(length).decode("utf-8")
+    (length,) = struct.unpack("<I", _read_exact(inp, 4, "value length"))
+    return _read_exact(inp, length, "value bytes").decode("utf-8")
 
 
 def _write_bitset(out: BinaryIO, bits: int) -> None:
@@ -92,8 +137,8 @@ def _write_bitset(out: BinaryIO, bits: int) -> None:
 
 
 def _read_bitset(inp: BinaryIO) -> int:
-    (length,) = struct.unpack("<H", inp.read(2))
-    return int.from_bytes(inp.read(length), "little")
+    (length,) = struct.unpack("<H", _read_exact(inp, 2, "bitset length"))
+    return int.from_bytes(_read_exact(inp, length, "bitset bytes"), "little")
 
 
 def _write_synopsis(out: BinaryIO, synopsis: ClusterSynopsis | None) -> None:
@@ -112,16 +157,16 @@ def _write_synopsis(out: BinaryIO, synopsis: ClusterSynopsis | None) -> None:
 
 
 def _read_synopsis(inp: BinaryIO) -> ClusterSynopsis | None:
-    present = inp.read(1)
+    present = _read_exact(inp, 1, "synopsis marker")
     if present == b"\x00":
         return None
-    (n_rows,) = struct.unpack("<I", inp.read(4))
+    (n_rows,) = struct.unpack("<I", _read_exact(inp, 4, "synopsis row count"))
     rows: dict[int, tuple[int, int, int, int]] = {}
     for _ in range(n_rows):
-        (page_no,) = struct.unpack("<I", inp.read(4))
+        (page_no,) = struct.unpack("<I", _read_exact(inp, 4, "synopsis row header"))
         tag_bits = _read_bitset(inp)
         entry_bits = _read_bitset(inp)
-        flags, occupancy = struct.unpack("<BI", inp.read(5))
+        flags, occupancy = struct.unpack("<BI", _read_exact(inp, 5, "synopsis row"))
         rows[page_no] = (tag_bits, entry_bits, flags, occupancy)
     return ClusterSynopsis.from_rows(rows)
 
@@ -158,29 +203,48 @@ def _write_record(out: BinaryIO, record) -> None:
 
 
 def _read_record(inp: BinaryIO):
-    kind_tag = inp.read(1)
+    kind_tag = _read_exact(inp, 1, "record tag")
     if kind_tag == b"\x00":
         return None
     if kind_tag == b"\x01":
-        kind, tag, parent_slot = struct.unpack("<BIi", inp.read(9))
-        (n_components,) = struct.unpack("<H", inp.read(2))
-        components = struct.unpack(f"<{n_components}i", inp.read(4 * n_components))
+        kind, tag, parent_slot = struct.unpack(
+            "<BIi", _read_exact(inp, 9, "core record header")
+        )
+        (n_components,) = struct.unpack(
+            "<H", _read_exact(inp, 2, "ordpath length")
+        )
+        components = struct.unpack(
+            f"<{n_components}i",
+            _read_exact(inp, 4 * n_components, "ordpath components"),
+        )
         record = CoreRecord(Kind(kind), tag, OrdPath(components), parent_slot)
-        (n_children,) = struct.unpack("<I", inp.read(4))
+        (n_children,) = struct.unpack(
+            "<I", _read_exact(inp, 4, "child-slot count")
+        )
         if n_children:
             record.child_slots = list(
-                struct.unpack(f"<{n_children}I", inp.read(4 * n_children))
+                struct.unpack(
+                    f"<{n_children}I",
+                    _read_exact(inp, 4 * n_children, "child slots"),
+                )
             )
         record.value = _read_value(inp)
         return record
     if kind_tag == b"\x02":
-        companion_raw, local_slot, flags = struct.unpack("<QiB", inp.read(13))
-        (n_children_raw,) = struct.unpack("<I", inp.read(4))
+        companion_raw, local_slot, flags = struct.unpack(
+            "<QiB", _read_exact(inp, 13, "border record header")
+        )
+        (n_children_raw,) = struct.unpack(
+            "<I", _read_exact(inp, 4, "border child-slot count")
+        )
         child_slots = None
         if n_children_raw:
             n_children = n_children_raw - 1
             child_slots = list(
-                struct.unpack(f"<{n_children}I", inp.read(4 * n_children))
+                struct.unpack(
+                    f"<{n_children}I",
+                    _read_exact(inp, 4 * n_children, "border child slots"),
+                )
             )
         return BorderRecord(
             None if companion_raw == 0 else NodeID(companion_raw - 1),
@@ -192,75 +256,160 @@ def _read_record(inp: BinaryIO):
     raise StoreCorruptError(f"corrupt store file: unknown record tag {kind_tag!r}")
 
 
-def save_store(store: DocumentStore, path: str) -> None:
-    """Write the whole store (segment + catalog) to ``path``."""
-    with open(path, "wb") as out:
-        out.write(_MAGIC)
-        out.write(struct.pack("<HI", _VERSION, store.segment.page_size))
-        names = store.tags.names()
-        out.write(struct.pack("<I", len(names)))
-        for name in names:
-            _write_str(out, name)
-        out.write(struct.pack("<I", store.segment.n_pages))
-        for page in store.segment.pages():
-            out.write(struct.pack("<III", page.page_no, page.used_bytes, len(page.records)))
-            for record in page.records:
-                _write_record(out, record)
-        out.write(struct.pack("<I", len(store.documents)))
-        for doc in store.documents.values():
-            _write_str(out, doc.name)
-            out.write(struct.pack("<QI", int(doc.root), len(doc.page_nos)))
-            out.write(struct.pack(f"<{len(doc.page_nos)}I", *doc.page_nos))
-            out.write(
-                struct.pack("<QII", doc.n_nodes, doc.n_border_pairs, doc.n_continuations)
+def _write_body(store: DocumentStore, out: BinaryIO) -> None:
+    """Serialise tags, pages and catalog (byte-identical to the v2 body)."""
+    names = store.tags.names()
+    out.write(struct.pack("<I", len(names)))
+    for name in names:
+        _write_str(out, name)
+    out.write(struct.pack("<I", store.segment.n_pages))
+    for page in store.segment.pages():
+        out.write(struct.pack("<III", page.page_no, page.used_bytes, len(page.records)))
+        for record in page.records:
+            _write_record(out, record)
+    out.write(struct.pack("<I", len(store.documents)))
+    for doc in store.documents.values():
+        _write_str(out, doc.name)
+        out.write(struct.pack("<QI", int(doc.root), len(doc.page_nos)))
+        out.write(struct.pack(f"<{len(doc.page_nos)}I", *doc.page_nos))
+        out.write(
+            struct.pack("<QII", doc.n_nodes, doc.n_border_pairs, doc.n_continuations)
+        )
+        _write_synopsis(out, doc.synopsis)
+
+
+def _read_body(inp: BinaryIO, version: int, page_size: int) -> DocumentStore:
+    """Parse a serialised body into a fresh store (any format version)."""
+    store = DocumentStore(page_size)
+    (n_tags,) = struct.unpack("<I", _read_exact(inp, 4, "tag count"))
+    for index in range(n_tags):
+        name = _read_str(inp, "tag name")
+        interned = store.tags.intern(name)
+        if interned != index:
+            raise StoreCorruptError(
+                f"corrupt store file: tag {name!r} maps to {interned}, expected {index}"
             )
-            _write_synopsis(out, doc.synopsis)
+    (n_pages,) = struct.unpack("<I", _read_exact(inp, 4, "page count"))
+    for _ in range(n_pages):
+        page_no, used_bytes, n_slots = struct.unpack(
+            "<III", _read_exact(inp, 12, "page header")
+        )
+        page = Page(page_no, page_size)
+        for slot in range(n_slots):
+            record = _read_record(inp)
+            page.records.append(record)
+            if record is None:
+                # scanned ascending, so the rebuilt free list is already
+                # in the canonical (sorted) order Page maintains live
+                page.free_slots.append(slot)
+        page.used_bytes = used_bytes
+        store.segment.adopt(page)
+    (n_documents,) = struct.unpack("<I", _read_exact(inp, 4, "document count"))
+    for _ in range(n_documents):
+        name = _read_str(inp, "document name")
+        root, n_page_nos = struct.unpack(
+            "<QI", _read_exact(inp, 12, "document header")
+        )
+        page_nos = list(
+            struct.unpack(
+                f"<{n_page_nos}I",
+                _read_exact(inp, 4 * n_page_nos, "document page numbers"),
+            )
+        )
+        n_nodes, borders, continuations = struct.unpack(
+            "<QII", _read_exact(inp, 16, "document counters")
+        )
+        synopsis = _read_synopsis(inp) if version >= 2 else None
+        store.documents[name] = StoredDocument(
+            name=name,
+            root=NodeID(root),
+            page_nos=page_nos,
+            n_nodes=n_nodes,
+            n_border_pairs=borders,
+            n_continuations=continuations,
+            import_result=None,  # type: ignore[arg-type]
+            statistics=None,
+            synopsis=synopsis,
+        )
+    return store
+
+
+def save_store(
+    store: DocumentStore, path: str, *, crash: "CrashInjector | None" = None
+) -> None:
+    """Atomically write the whole store (segment + catalog) to ``path``.
+
+    The image is staged at ``path + ".tmp"``, flushed and fsynced, then
+    installed over ``path`` with :func:`os.replace` — a crash at any
+    point leaves either the old file or the new file, never a torn mix.
+    The v3 header's CRC32 additionally catches a torn *temp* file that a
+    later recovery might be pointed at.
+
+    ``crash`` is the deterministic kill switch for recovery tests: body
+    chunks (one simulated page each) are routed through
+    :meth:`~repro.sim.faults.CrashInjector.write` and the
+    ``checkpoint-temp`` / ``checkpoint-rename`` steps are announced, so
+    a :class:`~repro.sim.faults.CrashPoint` can die at any stage of the
+    checkpoint.
+    """
+    body_io = io.BytesIO()
+    _write_body(store, body_io)
+    body = body_io.getvalue()
+    page_size = store.segment.page_size
+    # _VERSION is read at call time (not closure-bound) so tests can
+    # monkeypatch it to synthesize older-format files; the checksum
+    # block only exists in v3+ headers
+    version = _VERSION
+    header = _MAGIC + struct.pack("<HI", version, page_size)
+    if version >= 3:
+        header += _HEADER_V3.pack(store.checkpoint_lsn, zlib.crc32(body), len(body))
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as out:
+        out.write(header)
+        for start in range(0, len(body), page_size):
+            chunk = body[start : start + page_size]
+            if crash is not None:
+                crash.write(CRASH_PAGE_WRITE, out, chunk)
+            else:
+                out.write(chunk)
+        out.flush()
+        os.fsync(out.fileno())
+    if crash is not None:
+        crash.check(CRASH_CHECKPOINT_TEMP)
+    os.replace(tmp, path)
+    if crash is not None:
+        crash.check(CRASH_CHECKPOINT_RENAME)
 
 
 def load_store(path: str) -> DocumentStore:
-    """Load a store previously written by :func:`save_store`."""
+    """Load a store previously written by :func:`save_store`.
+
+    Raises :class:`StorageError` for files that are not store images at
+    all, and :class:`StoreCorruptError` (with offset context) for store
+    files that are truncated, torn, or fail the v3 body checksum.
+    """
     with open(path, "rb") as inp:
         if inp.read(4) != _MAGIC:
             raise StorageError(f"{path} is not a repro store file")
-        version, page_size = struct.unpack("<HI", inp.read(6))
+        version, page_size = struct.unpack(
+            "<HI", _read_exact(inp, 6, "store header")
+        )
         if not _MIN_VERSION <= version <= _VERSION:
             raise StorageError(f"unsupported store version {version}")
-        store = DocumentStore(page_size)
-        (n_tags,) = struct.unpack("<I", inp.read(4))
-        for index in range(n_tags):
-            name = _read_str(inp)
-            interned = store.tags.intern(name)
-            if interned != index:
-                raise StoreCorruptError(
-                    f"corrupt store file: tag {name!r} maps to {interned}, expected {index}"
-                )
-        (n_pages,) = struct.unpack("<I", inp.read(4))
-        for _ in range(n_pages):
-            page_no, used_bytes, n_slots = struct.unpack("<III", inp.read(12))
-            page = Page(page_no, page_size)
-            for slot in range(n_slots):
-                record = _read_record(inp)
-                page.records.append(record)
-                if record is None:
-                    page.free_slots.append(slot)
-            page.used_bytes = used_bytes
-            store.segment.adopt(page)
-        (n_documents,) = struct.unpack("<I", inp.read(4))
-        for _ in range(n_documents):
-            name = _read_str(inp)
-            root, n_page_nos = struct.unpack("<QI", inp.read(12))
-            page_nos = list(struct.unpack(f"<{n_page_nos}I", inp.read(4 * n_page_nos)))
-            n_nodes, borders, continuations = struct.unpack("<QII", inp.read(16))
-            synopsis = _read_synopsis(inp) if version >= 2 else None
-            store.documents[name] = StoredDocument(
-                name=name,
-                root=NodeID(root),
-                page_nos=page_nos,
-                n_nodes=n_nodes,
-                n_border_pairs=borders,
-                n_continuations=continuations,
-                import_result=None,  # type: ignore[arg-type]
-                statistics=None,
-                synopsis=synopsis,
+        checkpoint_lsn = 0
+        if version >= 3:
+            checkpoint_lsn, body_crc, body_len = _HEADER_V3.unpack(
+                _read_exact(inp, _HEADER_V3.size, "store header checksum block")
             )
+            body = _read_exact(inp, body_len, "store body")
+            if zlib.crc32(body) != body_crc:
+                raise StoreCorruptError(
+                    f"store body checksum mismatch in {path}: the checkpoint "
+                    "image is torn or damaged"
+                )
+            src: BinaryIO = io.BytesIO(body)
+        else:
+            src = inp
+        store = _read_body(src, version, page_size)
+        store.checkpoint_lsn = checkpoint_lsn
         return store

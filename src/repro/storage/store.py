@@ -99,6 +99,17 @@ class DocumentStore:
         self.segment = Segment(page_size)
         self.tags = tags if tags is not None else TagDictionary()
         self.documents: dict[str, StoredDocument] = {}
+        #: LSN of the last update operation folded into the on-disk
+        #: checkpoint image (0 = no logged updates).  Maintained by the
+        #: durability layer (:mod:`repro.storage.wal`); persisted in the
+        #: store-file header so recovery knows which WAL entries are
+        #: already part of the image and must not be replayed twice.
+        self.checkpoint_lsn = 0
+        #: deterministic kill switch for crash testing
+        #: (:class:`repro.sim.faults.CrashInjector`); update operations
+        #: announce their mid-flight steps through it.  None outside
+        #: kill-and-recover runs.
+        self.crash = None
 
     def import_document(
         self,
@@ -208,6 +219,38 @@ def recollect_synopsis(store: DocumentStore, doc: StoredDocument) -> ClusterSyno
     synopsis = ClusterSynopsis.collect(
         store.segment.page(page_no) for page_no in doc.page_nos
     )
+    doc.synopsis = synopsis
+    return synopsis
+
+
+def repair_synopsis(
+    store: DocumentStore,
+    doc: StoredDocument,
+    base: ClusterSynopsis | None,
+    touched_page_nos,
+) -> ClusterSynopsis:
+    """Rebuild the synopsis from ``base`` by recollecting only touched pages.
+
+    ``base`` is the synopsis as it stood *before* the updates being
+    repaired over (update operations null out ``doc.synopsis``, so the
+    caller — the WAL manager — snapshots it first).  Rows for pages in
+    ``touched_page_nos`` that belong to ``doc`` are recollected from the
+    physical records; all other rows are kept.  Falls back to a full
+    :func:`recollect_synopsis` when there is no base to patch.
+
+    The result must be indistinguishable from a full recollect — the
+    equivalence the ablation benchmark asserts — it is just O(touched)
+    instead of O(document).
+    """
+    if base is None:
+        return recollect_synopsis(store, doc)
+    mine = set(doc.page_nos)
+    fresh = {
+        page_no: ClusterSynopsis.collect_row(store.segment.page(page_no))
+        for page_no in sorted(touched_page_nos)
+        if page_no in mine
+    }
+    synopsis = base.patched(fresh) if fresh else base
     doc.synopsis = synopsis
     return synopsis
 

@@ -109,44 +109,61 @@ class ClusterSynopsis:
         """
         rows: Dict[int, Row] = {}
         for page in pages:
-            tag_bits = 0
-            entry_bits = 0
-            flags = 0
-            occupancy = 0
-            records = page.records
-            for record in records:
-                if record is None:
-                    continue
-                if not record.is_border:
-                    tag_bits |= 1 << record.tag
-                    occupancy += 1
-                    continue
-                if record.down:
-                    flags |= HAS_DOWN
-                    continue
-                flags |= HAS_UPSIDE
-                if record.continuation:
-                    for child_slot in record.child_slots or ():
-                        child = records[child_slot]
-                        if child is None:
-                            continue
-                        if child.is_border:
-                            flags |= CHILD_TRANSIT
-                        else:
-                            entry_bits |= 1 << child.tag
-                    continue
-                local_slot = record.local_slot
-                if local_slot < 0 or local_slot >= len(records):
-                    flags |= CHILD_TRANSIT  # unknown shape: stay conservative
-                    continue
-                local = records[local_slot]
-                if local is None:
-                    continue
-                if local.is_border:
-                    flags |= CHILD_TRANSIT
-                else:
-                    entry_bits |= 1 << local.tag
-            rows[page.page_no] = (tag_bits, entry_bits, flags, occupancy)
+            rows[page.page_no] = ClusterSynopsis.collect_row(page)
+        return ClusterSynopsis(rows)
+
+    @staticmethod
+    def collect_row(page: "Page") -> Row:
+        """Scan one physical page into its synopsis row.
+
+        The single-page unit of :meth:`collect`, exposed so crash
+        recovery can repair the rows of just the pages an update run
+        touched instead of recollecting the whole document.
+        """
+        tag_bits = 0
+        entry_bits = 0
+        flags = 0
+        occupancy = 0
+        records = page.records
+        for record in records:
+            if record is None:
+                continue
+            if not record.is_border:
+                tag_bits |= 1 << record.tag
+                occupancy += 1
+                continue
+            if record.down:
+                flags |= HAS_DOWN
+                continue
+            flags |= HAS_UPSIDE
+            if record.continuation:
+                for child_slot in record.child_slots or ():
+                    child = records[child_slot]
+                    if child is None:
+                        continue
+                    if child.is_border:
+                        flags |= CHILD_TRANSIT
+                    else:
+                        entry_bits |= 1 << child.tag
+                continue
+            local_slot = record.local_slot
+            if local_slot < 0 or local_slot >= len(records):
+                flags |= CHILD_TRANSIT  # unknown shape: stay conservative
+                continue
+            local = records[local_slot]
+            if local is None:
+                continue
+            if local.is_border:
+                flags |= CHILD_TRANSIT
+            else:
+                entry_bits |= 1 << local.tag
+        return (tag_bits, entry_bits, flags, occupancy)
+
+    def patched(self, fresh: Dict[int, Row]) -> "ClusterSynopsis":
+        """A new synopsis with ``fresh`` rows replacing (or extending)
+        this one's — the incremental-repair constructor."""
+        rows = dict(self._rows)
+        rows.update(fresh)
         return ClusterSynopsis(rows)
 
     # -- pruning predicates --------------------------------------------

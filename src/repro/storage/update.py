@@ -24,11 +24,21 @@ from __future__ import annotations
 
 from repro.errors import StorageError, StoreCorruptError
 from repro.model.tree import Kind
+from repro.sim.faults import CRASH_UPDATE_APPLY
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.ordpath import OrdPath, label_between
 from repro.storage.page import Page, Segment
 from repro.storage.record import BorderRecord, CoreRecord
 from repro.storage.store import DocumentStore, StoredDocument
+
+
+def _crash_check(store: DocumentStore) -> None:
+    """Announce a mid-operation step to the crash injector, if one is
+    armed (kill-and-recover testing: the process "dies" with the
+    operation partially applied)."""
+    crash = store.crash
+    if crash is not None:
+        crash.check(CRASH_UPDATE_APPLY)
 
 
 def _resolve_core(segment: Segment, nid: NodeID) -> tuple[Page, int, CoreRecord]:
@@ -410,6 +420,12 @@ def insert_node(
         raise StorageError(
             f"insert position {position} out of range 0..{len(entries)}"
         )
+    # invalidate *before* the first mutation, not after the last: an
+    # operation that fails (or a process that dies) midway must not
+    # leave an import-time synopsis describing pages it already changed
+    # — a stale row can understate a page's content and make pruning
+    # skip real results
+    _invalidate_statistics(doc)
 
     left = (
         _entry_ordpath(segment, entries[position - 1][0], entries[position - 1][3])
@@ -445,6 +461,7 @@ def insert_node(
     link_cost = 4  # CHILD_LINK_SIZE
     if home_page.fits(record.size() + link_cost):
         slot = home_page.add(record)
+        _crash_check(store)  # record placed but not yet linked
         home_page.grow(link_cost)
         holder.child_slots.insert(list_index, slot)
         home_page.invalidate_colview()  # holder child list grown in place
@@ -484,6 +501,7 @@ def insert_node(
         target_page = _find_space(segment, record.size() + 16 + 8)
         up = BorderRecord(None, -1, down=False)
         up_slot = target_page.add(up)
+        _crash_check(store)  # half-created border pair
         record.parent_slot = up_slot
         slot = target_page.add(record)
         up.local_slot = slot
@@ -500,7 +518,6 @@ def insert_node(
         new_nid = make_nodeid(target_page.page_no, slot)
 
     doc.n_nodes += 1
-    _invalidate_statistics(doc)
     return new_nid
 
 
@@ -515,6 +532,10 @@ def delete_subtree(store: DocumentStore, doc: StoredDocument, nid: NodeID) -> in
     page, slot, record = _resolve_core(segment, nid)
     if record.kind == Kind.DOCUMENT:
         raise StorageError("cannot delete the document root")
+    # invalidated before the first mutation (see insert_node): a
+    # partially tombstoned subtree must not coexist with a synopsis that
+    # still describes the pre-delete pages
+    _invalidate_statistics(doc)
 
     # detach from the parent's child list (parent may be across a border)
     parent_page, holder, entry_slot = page, None, slot
@@ -548,6 +569,7 @@ def delete_subtree(store: DocumentStore, doc: StoredDocument, nid: NodeID) -> in
     removed = 0
     stack = [(page, slot)]
     while stack:
+        _crash_check(store)  # one occurrence per partially deleted record
         current_page, current_slot = stack.pop()
         current = current_page.record(current_slot)
         if current is None:
@@ -572,7 +594,6 @@ def delete_subtree(store: DocumentStore, doc: StoredDocument, nid: NodeID) -> in
         if garbage_page.record(garbage_slot) is not None:
             garbage_page.tombstone(garbage_slot)
     doc.n_nodes -= removed
-    _invalidate_statistics(doc)
     return removed
 
 
@@ -592,6 +613,8 @@ def update_value(store: DocumentStore, nid: NodeID, value: str) -> None:
         page.grow(new - old)
     else:
         page.used_bytes -= old - new
+        page.version += 1  # grow() bumps it on the other branch
+    _crash_check(store)  # bytes re-accounted, value not yet replaced
     record.value = value
 
 
@@ -599,9 +622,13 @@ def _invalidate_statistics(doc: StoredDocument) -> None:
     """Schema statistics and the cluster synopsis are import-time
     snapshots; drop both on structural update.
 
-    The AUTO plan chooser then degrades to its statistics-free default
-    and synopsis pruning disables itself until the document is
-    re-imported (or statistics/synopsis recollected).
+    Called *before* an operation's first mutation, so even a failed or
+    interrupted update leaves no stale snapshot behind.  The AUTO plan
+    chooser then degrades to its statistics-free default and synopsis
+    pruning disables itself until the document is re-imported, the
+    statistics/synopsis recollected, or — under WAL management
+    (:mod:`repro.storage.wal`) — the synopsis repaired incrementally
+    right after the operation.
     """
     doc.statistics = None
     doc.synopsis = None

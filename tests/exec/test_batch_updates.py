@@ -1,0 +1,189 @@
+"""Tests for update operations inside query batches."""
+
+import os
+
+from repro import Database, DeleteOp, InsertOp, SetValueOp
+from repro.storage.store import check_document
+from repro.storage.wal import recover_store
+
+XML = (
+    "<root><people><person><name>alice</name></person>"
+    "<person><name>bob</name></person></people>"
+    "<items><item>one</item><item>two</item></items></root>"
+)
+
+
+def fresh(tmp_path=None):
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml(XML, "d")
+    if tmp_path is not None:
+        db.attach_wal(str(tmp_path / "store.rpro"))
+    return db, db.session(warm=True)
+
+
+def test_updates_interleave_with_queries_in_order():
+    db, session = fresh()
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    outcome = session.run_batch(
+        [
+            "count(//extra)",
+            InsertOp(parent=root, position=0, tag_name="extra"),
+            "count(//extra)",
+        ],
+        doc="d",
+    )
+    before, inserted, after = outcome.results
+    assert before.value == 0.0
+    assert after.value == 1.0  # the query run after the update sees it
+    assert inserted.nodes is not None and len(inserted.nodes) == 1
+    assert inserted.query == "insert(extra)"
+    assert inserted.plan_kinds == []
+    assert outcome.updates == 1
+    check_document(db.store, db.store.document("d"))
+
+
+def test_delete_and_set_value_results():
+    db, session = fresh()
+    person = db.execute("//person", doc="d", plan="simple").nodes[0]
+    text = db.execute("//item/text()", doc="d", plan="simple").nodes[0]
+    outcome = session.run_batch(
+        [
+            SetValueOp(nid=text, value="three"),
+            DeleteOp(nid=person),
+            "count(//person)",
+        ],
+        doc="d",
+    )
+    set_result, delete_result, count = outcome.results
+    assert set_result.value is None and set_result.nodes is None
+    assert set_result.query == "set-value"
+    assert delete_result.value and delete_result.value > 1  # subtree size
+    assert count.value == 1.0
+    assert outcome.updates == 2
+
+
+def test_update_run_owns_one_group_commit_window(tmp_path, monkeypatch):
+    db, session = fresh(tmp_path)
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    syncs = []
+    monkeypatch.setattr(os, "fsync", lambda fd: syncs.append(fd))
+    session.run_batch(
+        [
+            InsertOp(parent=root, position=0, tag_name="one"),
+            InsertOp(parent=root, position=0, tag_name="two"),
+            InsertOp(parent=root, position=0, tag_name="three"),
+        ],
+        doc="d",
+    )
+    assert len(syncs) == 1  # one fsync for the whole run, not three
+    session.run_batch(
+        [
+            InsertOp(parent=root, position=0, tag_name="four"),
+            "count(//four)",
+            InsertOp(parent=root, position=0, tag_name="five"),
+        ],
+        doc="d",
+    )
+    assert len(syncs) == 3  # two separate update runs, one sync each
+
+
+def test_batched_updates_are_durable(tmp_path):
+    db, session = fresh(tmp_path)
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    session.run_batch(
+        [
+            InsertOp(parent=root, position=0, tag_name="extra"),
+            "count(//extra)",
+            InsertOp(parent=root, position=0, tag_name="extra"),
+        ],
+        doc="d",
+    )
+    store, report = recover_store(db.wal.store_path)
+    assert report.last_lsn == 2
+    recovered = Database(page_size=512, buffer_pages=32, store=store)
+    assert recovered.execute("count(//extra)", doc="d").value == 2.0
+
+
+def test_updates_work_without_wal():
+    db, session = fresh()
+    assert db.wal is None
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    outcome = session.run_batch(
+        [InsertOp(parent=root, position=0, tag_name="extra"), "count(//extra)"],
+        doc="d",
+    )
+    assert outcome.results[1].value == 1.0
+    assert outcome.updates == 1
+
+
+def test_accounting_splits_queries_and_updates():
+    db, session = fresh()
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    runs_before, updates_before = session.runs, session.updates
+    session.run_batch(
+        [
+            "count(//person)",
+            InsertOp(parent=root, position=0, tag_name="extra"),
+            DeleteOp(nid=db.execute("//item", doc="d", plan="simple").nodes[0]),
+            "count(//item)",
+        ],
+        doc="d",
+    )
+    assert session.runs == runs_before + 2  # only the queries
+    assert session.updates == updates_before + 2
+
+
+def test_structural_update_drops_cached_plans():
+    db, session = fresh()
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    session.run_batch(["count(//person)", "count(//item)"], doc="d")
+    assert session.cached_plans > 0
+    session.run_batch(
+        [InsertOp(parent=root, position=0, tag_name="extra"), "count(//extra)"],
+        doc="d",
+    )
+    # the cache was cleared by the insert; only the post-update query is
+    # in (possibly under several plan keys), nothing from the first batch
+    assert session.cached_plans > 0
+    assert all(key[0] == "count(//extra)" for key in session._plans)
+
+
+def test_per_op_document_override():
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml(XML, "d")
+    db.load_xml("<other><x/></other>", "e")
+    session = db.session(warm=True)
+    other_root = db.execute("/other", doc="e", plan="simple").nodes[0]
+    outcome = session.run_batch(
+        [
+            InsertOp(parent=other_root, position=0, tag_name="y", doc="e"),
+            ("count(//y)", "e"),
+            "count(//person)",  # default doc "d"
+        ],
+        doc="d",
+    )
+    assert outcome.results[0].doc == "e"
+    assert outcome.results[1].value == 1.0
+    assert outcome.results[2].value == 2.0
+
+
+def test_pure_query_batches_report_zero_updates(xmark_small):
+    db, _ = xmark_small
+    outcome = db.run_batch(["count(//keyword)", "count(//item)"], doc="xmark")
+    assert outcome.updates == 0
+
+
+def test_update_only_batch():
+    db, session = fresh()
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    outcome = session.run_batch(
+        [
+            InsertOp(parent=root, position=0, tag_name="a1"),
+            InsertOp(parent=root, position=0, tag_name="a2"),
+        ],
+        doc="d",
+    )
+    assert outcome.updates == 2
+    assert outcome.scan_shared == 0 and outcome.interleaved == 0
+    assert all(r.plan_kinds == [] for r in outcome.results)
+    assert db.execute("count(/root/*)", doc="d").value == 4.0

@@ -1,0 +1,157 @@
+"""Corruption regression tests for the binary store format.
+
+The load path must never leak a bare ``struct.error`` (or worse, a
+``UnicodeDecodeError``) for a truncated or damaged file: every byte
+shortfall surfaces as a typed :class:`~repro.errors.StoreCorruptError`
+with offset context, and non-store files raise
+:class:`~repro.errors.StorageError`.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import StorageError, StoreCorruptError
+from repro.storage import persist
+from repro.storage.persist import load_store, save_store
+from repro.storage.store import check_document
+
+from tests.conftest import small_database
+
+
+@pytest.fixture
+def saved(tmp_path):
+    db, _ = small_database(seed=91, n_top=25)
+    path = str(tmp_path / "store.rpro")
+    save_store(db.store, path)
+    return db, path, open(path, "rb").read()
+
+
+def test_truncation_at_every_boundary(saved, tmp_path):
+    """Sweep truncation points across the whole file: header, checksum
+    block, and (via the v2 variant below) every body section."""
+    _, path, data = saved
+    target = str(tmp_path / "cut.rpro")
+    # every header byte, then a stride through the body
+    cuts = list(range(len(data) - 1, 0, -max(1, len(data) // 200)))
+    cuts.extend(range(min(64, len(data))))
+    for cut in cuts:
+        open(target, "wb").write(data[:cut])
+        with pytest.raises((StoreCorruptError, StorageError)) as err:
+            load_store(target)
+        # offset context or a typed message, never a raw struct error
+        assert "store" in str(err.value)
+
+
+def test_truncation_inside_v2_body_sections(saved, tmp_path, monkeypatch):
+    """v1/v2 files have no body-length guard, so truncation lands inside
+    individual read helpers — each must raise the typed error."""
+    db, _, _ = saved
+    monkeypatch.setattr(persist, "_VERSION", 2)
+    path = str(tmp_path / "v2.rpro")
+    save_store(db.store, path)
+    data = open(path, "rb").read()
+    target = str(tmp_path / "cut2.rpro")
+    for cut in range(len(data) - 1, 0, -max(1, len(data) // 300)):
+        open(target, "wb").write(data[:cut])
+        with pytest.raises((StoreCorruptError, StorageError)):
+            load_store(target)
+
+
+def test_truncation_error_reports_offset(saved, tmp_path):
+    _, path, data = saved
+    target = str(tmp_path / "cut.rpro")
+    open(target, "wb").write(data[: len(data) // 2])
+    with pytest.raises(StoreCorruptError, match=r"offset"):
+        load_store(target)
+
+
+def test_body_checksum_detects_bit_rot(saved, tmp_path):
+    _, path, data = saved
+    corrupt = bytearray(data)
+    corrupt[len(data) // 2] ^= 0x01
+    target = str(tmp_path / "rot.rpro")
+    open(target, "wb").write(bytes(corrupt))
+    with pytest.raises(StoreCorruptError, match="checksum mismatch"):
+        load_store(target)
+
+
+def test_header_corruption_detected(saved, tmp_path):
+    _, path, data = saved
+    # damage the recorded body length: the read shortfall must be typed
+    corrupt = bytearray(data)
+    length_at = 4 + 6 + 8 + 4  # magic | version+page_size | lsn | crc
+    corrupt[length_at : length_at + 8] = struct.pack("<Q", len(data) * 2)
+    target = str(tmp_path / "len.rpro")
+    open(target, "wb").write(bytes(corrupt))
+    with pytest.raises(StoreCorruptError):
+        load_store(target)
+
+
+def test_not_a_store_file(tmp_path):
+    target = str(tmp_path / "nope.rpro")
+    open(target, "wb").write(b"<?xml version='1.0'?><root/>")
+    with pytest.raises(StorageError):
+        load_store(target)
+
+
+def test_unsupported_version(saved, tmp_path):
+    _, path, data = saved
+    corrupt = bytearray(data)
+    corrupt[4:6] = struct.pack("<H", 99)
+    target = str(tmp_path / "future.rpro")
+    open(target, "wb").write(bytes(corrupt))
+    with pytest.raises(StorageError, match="version"):
+        load_store(target)
+
+
+def test_empty_file(tmp_path):
+    target = str(tmp_path / "empty.rpro")
+    open(target, "wb").close()
+    with pytest.raises(StorageError):
+        load_store(target)
+
+
+def test_v2_and_v3_round_trips_agree(saved, tmp_path, monkeypatch):
+    """The v3 header adds integrity metadata only — the body bytes and
+    the loaded store are the same as a v2 file's."""
+    db, path, _ = saved
+    v2 = str(tmp_path / "v2.rpro")
+    monkeypatch.setattr(persist, "_VERSION", 2)
+    save_store(db.store, v2)
+    monkeypatch.undo()
+    old = load_store(v2)
+    new = load_store(path)
+    assert old.segment.n_pages == new.segment.n_pages
+    assert sorted(old.documents) == sorted(new.documents)
+    for name in old.documents:
+        check_document(old, old.document(name))
+        check_document(new, new.document(name))
+    # and the v3 file is the v2 body behind a 20-byte-longer header
+    assert open(path, "rb").read()[30:] == open(v2, "rb").read()[10:]
+
+
+def test_checkpoint_lsn_round_trips(saved, tmp_path):
+    db, _, _ = saved
+    db.store.checkpoint_lsn = 41
+    path = str(tmp_path / "lsn.rpro")
+    save_store(db.store, path)
+    assert load_store(path).checkpoint_lsn == 41
+
+
+def test_v2_file_loads_with_zero_lsn(saved, tmp_path, monkeypatch):
+    db, _, _ = saved
+    db.store.checkpoint_lsn = 41
+    monkeypatch.setattr(persist, "_VERSION", 2)
+    path = str(tmp_path / "v2lsn.rpro")
+    save_store(db.store, path)
+    assert load_store(path).checkpoint_lsn == 0
+
+
+def test_save_leaves_no_temp_file(saved, tmp_path):
+    import os
+
+    db, _, _ = saved
+    path = str(tmp_path / "clean.rpro")
+    save_store(db.store, path)
+    assert not os.path.exists(path + ".tmp")

@@ -1,0 +1,155 @@
+"""Failure-path tests for update operations.
+
+An update interrupted mid-mutation (simulated process death via
+:class:`~repro.sim.faults.CrashInjector`) may leave the physical page
+image half-changed — that is what the WAL recovers from — but it must
+never leave *stale derived state* behind: the schema statistics and the
+cluster synopsis are invalidated before the first mutation, so a
+survivor that keeps using the in-memory store cannot be steered into
+unsound pruning by a row describing pre-update pages.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import SimulatedCrashError
+from repro.sim.faults import CRASH_UPDATE_APPLY, CrashInjector, CrashPoint
+from repro.storage.store import check_document, recollect_synopsis
+from repro.storage.update import delete_subtree, insert_node, update_value
+from repro.storage.wal import recover_store
+
+
+XML = (
+    "<root><people><person><name>alice</name></person>"
+    "<person><name>bob</name></person></people>"
+    "<items><item>one</item><item>two</item></items></root>"
+)
+
+
+def fresh_db():
+    db = Database(page_size=512, buffer_pages=32)
+    db.load_xml(XML, "d")
+    return db
+
+
+def arm(db, at=1):
+    db.store.crash = CrashInjector(CrashPoint(step=CRASH_UPDATE_APPLY, at=at))
+    return db.store.crash
+
+
+def test_interrupted_insert_leaves_no_stale_synopsis():
+    db = fresh_db()
+    doc = db.document("d")
+    recollect_synopsis(db.store, doc)
+    assert doc.synopsis is not None
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    arm(db)
+    with pytest.raises(SimulatedCrashError):
+        insert_node(db.store, doc, root, 0, "extra")
+    # the record was placed but never linked — yet nothing derived still
+    # describes the pre-insert pages
+    assert doc.synopsis is None
+    assert doc.statistics is None
+
+
+def test_interrupted_delete_every_step():
+    """The tombstone walk announces one crash point per record: sweep
+    them all; at every depth the derived state is fully invalidated."""
+    # count the walk's steps with an injector armed out of reach
+    db = fresh_db()
+    doc = db.document("d")
+    people = db.execute("/root/people", doc="d", plan="simple").nodes[0]
+    counter = arm(db, at=10**6)
+    delete_subtree(db.store, doc, people)
+    total = counter.occurrences(CRASH_UPDATE_APPLY)
+    assert total > 2  # a real walk, not one step
+
+    for at in range(1, total + 1):
+        db = fresh_db()
+        doc = db.document("d")
+        recollect_synopsis(db.store, doc)
+        people = db.execute("/root/people", doc="d", plan="simple").nodes[0]
+        arm(db, at=at)
+        try:
+            delete_subtree(db.store, doc, people)
+        except SimulatedCrashError:
+            assert doc.synopsis is None
+            assert doc.statistics is None
+        else:
+            pytest.fail(f"crash point {at} did not fire")
+
+
+def test_interrupted_set_value_keeps_old_value():
+    db = fresh_db()
+    doc = db.document("d")
+    text = db.execute("//name/text()", doc="d", plan="simple").nodes[0]
+    arm(db)
+    with pytest.raises(SimulatedCrashError):
+        update_value(db.store, text, "carol")
+    db.store.crash = None
+    # the crash lands between byte re-accounting and the value swap; the
+    # value itself is still the old one and the document checks out
+    assert db.node_info(text)[2] == "alice"
+    check_document(db.store, doc)
+
+
+def test_uninterrupted_ops_ignore_armed_injector_at_later_step():
+    db = fresh_db()
+    doc = db.document("d")
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    arm(db, at=1000)  # armed but never reached
+    nid = insert_node(db.store, doc, root, 0, "extra")
+    assert int(nid) >= 0
+    check_document(db.store, doc)
+
+
+def test_wal_recovery_discards_interrupted_operation(tmp_path):
+    """With a WAL attached, a mid-operation crash recovers to the last
+    acknowledged operation: the torn one was never logged."""
+    db = fresh_db()
+    path = str(tmp_path / "store.rpro")
+    db.attach_wal(path, crash=CrashInjector(
+        CrashPoint(step=CRASH_UPDATE_APPLY, at=5)
+    ))
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    acked = 0
+    try:
+        for i in range(10):
+            db.wal.insert("d", root, 0, f"n{i}")
+            acked += 1
+    except SimulatedCrashError:
+        pass
+    assert 0 < acked < 10
+    store, report = recover_store(path)
+    assert report.last_lsn == acked  # everything acknowledged, nothing more
+    doc = store.document("d")
+    check_document(store, doc)
+    assert doc.synopsis is not None  # repaired, not nulled, on recovery
+    assert doc.synopsis == recollect_synopsis(store, doc)
+
+
+def test_colviews_invalidated_on_touched_pages():
+    """Pages mutated before the crash must not serve pre-update columnar
+    views (version bump + colview invalidation happen together)."""
+    db = fresh_db()
+    doc = db.document("d")
+    # warm the colviews through a columnar scan
+    db.execute("count(//person)", doc="d", plan="xscan")
+    segment = db.store.segment
+    warmed = {
+        page.page_no for page in segment.pages() if page._colview is not None
+    }
+    assert warmed
+    versions = {page.page_no: page.version for page in segment.pages()}
+    root = db.execute("/root", doc="d", plan="simple").nodes[0]
+    arm(db)
+    with pytest.raises(SimulatedCrashError):
+        insert_node(db.store, doc, root, 0, "extra")
+    moved = [
+        page
+        for page in segment.pages()
+        if page.version != versions.get(page.page_no, -1)
+    ]
+    assert moved  # the interrupted insert did mutate at least one page
+    for page in moved:
+        assert page._colview is None
