@@ -1,0 +1,99 @@
+"""Ablation: chooser calibration — off is free, on costs nothing simulated.
+
+The feedback store (:mod:`repro.exec.calibration`) follows the repo's
+feature-gate contract (tracer, synopsis, WAL...):
+
+* ``EvalOptions(calibration=False)`` creates **no store at all** — the
+  session's ``calibration`` slot is ``None`` and every execution is
+  bit-identical (value, simulated timings, full counter bundle) to a
+  plain ``Database.execute``, which never had a store to begin with;
+* with calibration **on**, the store is planning-time only: it never
+  touches the simulated clock, so the first run of any query (an empty
+  store — the estimator decides, exactly as with calibration off)
+  produces bit-identical simulated physics.
+"""
+
+import pytest
+
+from repro import EvalOptions
+from harness import QUERY_BY_EXP, build_xmark_db
+
+SCALE = 0.1
+OFF = EvalOptions(calibration=False)
+ON = EvalOptions(calibration=True)
+
+
+def _outcome(result):
+    if result.value is not None:
+        return result.value
+    return tuple(result.nodes)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_xmark_db(SCALE)
+
+
+@pytest.mark.parametrize("exp_id", ("q6", "q7", "q15"))
+def test_calibration_off_is_free(db, exp_id, record_result):
+    """``calibration=False`` session == bare ``Database.execute``: same
+    answer, same simulated clock, same counters, no store allocated."""
+    session = db.session(options=OFF)
+    assert session.calibration is None
+    via_session, wall_off = run_query_timed_session(session, db, exp_id)
+    bare = db.execute(QUERY_BY_EXP[exp_id], "xmark", plan="auto", options=OFF)
+    assert _outcome(via_session) == _outcome(bare)
+    assert via_session.total_time == bare.total_time
+    assert via_session.stats.as_dict() == bare.stats.as_dict()
+    record_result(
+        "ablation_calibration",
+        query=exp_id,
+        mode="off",
+        total=via_session.total_time,
+        wall=wall_off,
+    )
+
+
+@pytest.mark.parametrize("exp_id", ("q6", "q7", "q15"))
+def test_calibration_on_first_run_bit_identical(db, exp_id, record_result):
+    """An empty store defers to the estimator, so the first run with
+    calibration on is bit-identical to calibration off — the feature
+    only changes behaviour once measurements exist."""
+    on_session = db.session(options=ON)
+    assert on_session.calibration is not None
+    assert on_session.calibration.observations == 0
+    on_result, wall_on = run_query_timed_session(on_session, db, exp_id)
+    off_result = db.execute(QUERY_BY_EXP[exp_id], "xmark", plan="auto", options=OFF)
+    assert _outcome(on_result) == _outcome(off_result)
+    assert on_result.total_time == off_result.total_time
+    assert on_result.stats.as_dict() == off_result.stats.as_dict()
+    record_result(
+        "ablation_calibration",
+        query=exp_id,
+        mode="on",
+        total=on_result.total_time,
+        wall=wall_on,
+    )
+
+
+def test_calibration_on_observes_single_path_runs(db):
+    """The store fills from clean (cold, single-path) runs only — a
+    forced family deposits its timing, so AUTO later has real data."""
+    session = db.session(options=ON)
+    store = session.calibration
+    session.execute(QUERY_BY_EXP["q15"], "xmark", plan="xscan", options=ON)
+    session.execute(QUERY_BY_EXP["q15"], "xmark", plan="xschedule", options=ON)
+    assert store.observations == 2
+    # q7 is multi-path: its total is shared across three leaves and must
+    # not be attributed to any one shape
+    session.execute(QUERY_BY_EXP["q7"], "xmark", plan="xscan", options=ON)
+    assert store.observations == 2
+
+
+def run_query_timed_session(session, db, exp_id):
+    """Cold session execute with wall-clock, mirroring harness idiom."""
+    import time
+
+    t0 = time.perf_counter()
+    result = session.execute(QUERY_BY_EXP[exp_id], "xmark", plan="auto")
+    return result, time.perf_counter() - t0

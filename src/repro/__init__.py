@@ -24,6 +24,7 @@ from repro.axes import Axis
 from repro.engine import Database, Result
 from repro.exec import (
     BatchOutcome,
+    CalibrationStore,
     DeleteOp,
     ExecutionEnvironment,
     InsertOp,
@@ -54,7 +55,7 @@ from repro.algebra.context import (
     EvalOptions,
     ExecutionBudget,
 )
-from repro.sim.costmodel import CostModel
+from repro.sim.costmodel import ChooserCostModel, CostModel
 from repro.sim.disk import DiskGeometry, SchedulingPolicy
 from repro.sim.faults import (
     CRASH_STEPS,
@@ -78,6 +79,7 @@ __all__ = [
     "Result",
     "ExecutionEnvironment",
     "QuerySession",
+    "CalibrationStore",
     "BatchOutcome",
     "run_batch",
     "InsertOp",
@@ -104,6 +106,7 @@ __all__ = [
     "fault_profile",
     "PROFILES",
     "CostModel",
+    "ChooserCostModel",
     "DiskGeometry",
     "SchedulingPolicy",
     "ImportOptions",

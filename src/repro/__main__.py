@@ -146,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         "overhead per node)",
     )
     parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="disable the AUTO chooser's measured-outcome feedback: plan "
+        "choices come from the open-loop estimator only (no observed-"
+        "timing overrides, no exploration runs, no fitted cost model)",
+    )
+    parser.add_argument(
         "--latency-slo",
         type=float,
         default=None,
@@ -196,6 +203,8 @@ def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
         kwargs["synopsis"] = False
     if args.no_batched:
         kwargs["batched"] = False
+    if args.no_calibration:
+        kwargs["calibration"] = False
     return EvalOptions(**kwargs) if kwargs else None
 
 

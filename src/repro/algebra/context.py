@@ -152,6 +152,16 @@ class EvalOptions:
         simulated timings are bit-identical with the flag off (CLI
         ``--no-batched``), which falls back to one-record-at-a-time
         navigation over record objects.
+    calibration:
+        Let :class:`~repro.exec.session.QuerySession` feed *measured*
+        plan outcomes back into the AUTO chooser: observed per-shape
+        simulated timings override the estimator once both plan families
+        have been seen, and a low-confidence (small predicted margin)
+        decision explores the unobserved family once instead of trusting
+        the estimate.  Purely a planning-time feature — any individual
+        plan executes bit-identically either way — and free when off
+        (CLI ``--no-calibration``): no feedback store exists, AUTO
+        resolves exactly as the bare estimator does.
     retry:
         How the I/O subsystem recovers from injected faults
         (:class:`~repro.sim.faults.RetryPolicy`): retry cap, exponential
@@ -177,6 +187,7 @@ class EvalOptions:
     rewrite_descendant: bool = True
     synopsis: bool = True
     batched: bool = True
+    calibration: bool = True
     retry: RetryPolicy = RetryPolicy()
     latency_slo: float | None = None
     budget: ExecutionBudget | None = None

@@ -69,7 +69,7 @@ class ReplintConfig:
     #: attribute/parameter names treated as optional feature slots by the
     #: feature-gate and tracer-mirror rules
     feature_names: frozenset[str] = frozenset(
-        {"tracer", "synopsis", "batched", "faults", "wal", "crash"}
+        {"tracer", "synopsis", "batched", "faults", "wal", "crash", "calibration"}
     )
     #: Stats counter names the tracer-mirror rule watches
     stats_fields: frozenset[str] = field(default_factory=_stats_field_names)

@@ -211,8 +211,14 @@ class Database:
         doc: str = "default",
         plan: PlanKind | str = PlanKind.AUTO,
         options: EvalOptions | None = None,
+        advisor: object | None = None,
     ) -> CompiledQuery:
-        """Compile a query without executing it."""
+        """Compile a query without executing it.
+
+        ``advisor`` (a :class:`~repro.exec.calibration.CalibrationStore`)
+        lets AUTO resolution consult measured plan outcomes; sessions
+        pass their own store, a bare database compiles estimator-only.
+        """
         return compile_query(
             query,
             self.store.document(doc),
@@ -220,6 +226,8 @@ class Database:
             plan=plan,
             options=options or self.eval_options,
             geometry=self.geometry,
+            advisor=advisor,
+            tracer=self.env.tracer,
         )
 
     def make_context(self, options: EvalOptions | None = None) -> EvalContext:

@@ -16,6 +16,7 @@ from repro.exec.environment import ExecutionEnvironment
 
 __all__ = [
     "ExecutionEnvironment",
+    "CalibrationStore",
     "QuerySession",
     "BatchOutcome",
     "run_batch",
@@ -25,6 +26,7 @@ __all__ = [
 ]
 
 _LAZY = {
+    "CalibrationStore": "calibration",
     "QuerySession": "session",
     "BatchOutcome": "batch",
     "run_batch": "batch",

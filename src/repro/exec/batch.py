@@ -231,7 +231,7 @@ def _run_queries(
     for index in indices:
         plan_kinds_by[index] = compiled[index].plan_kinds
     scan_count = sum(len(members) for members in scan_groups.values())
-    return scan_count, len(queue_members)
+    return scan_count, len(queue_members), compiled
 
 
 def _apply_one_update(
@@ -320,6 +320,7 @@ def run_batch(
     scan_count = 0
     queue_count = 0
     updates_count = 0
+    compiled_by: dict[int, CompiledQuery] = {}
 
     index = 0
     while index < n:
@@ -331,12 +332,13 @@ def run_batch(
             _apply_updates(session, shared, raw, range(index, end), doc, outcomes, labels)
             updates_count += end - index
         else:
-            sc, qc = _run_queries(
+            sc, qc, run_compiled = _run_queries(
                 session, shared, raw, list(range(index, end)), doc, plan,
                 outcomes, labels, plan_kinds_by,
             )
             scan_count += sc
             queue_count += qc
+            compiled_by.update(run_compiled)
         index = end
 
     # ---- per-request results with shared-I/O attribution
@@ -375,4 +377,11 @@ def run_batch(
         updates=updates_count,
     )
     session._account_batch(outcome)
+    # a single-query batch on a cold runtime is a clean per-plan timing:
+    # nothing shared its I/O and the makespan is all its own, so it can
+    # feed the chooser's calibration store like a plain session run.
+    # Anything larger stays unobserved — shared-scan and interleaved
+    # timings cannot be attributed to one (shape, plan) pair.
+    if n == 1 and updates_count == 0 and 0 in compiled_by:
+        session.observe_run(compiled_by[0], labels[0][1], total, session.options)
     return outcome

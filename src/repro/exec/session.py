@@ -24,10 +24,12 @@ from collections import OrderedDict
 
 from repro.algebra.context import EvalContext, EvalOptions
 from repro.engine import Database, Result
+from repro.exec.calibration import CalibrationStore
 from repro.model.tree import Kind
 from repro.sim.stats import Stats
 from repro.storage.nodeid import NodeID
-from repro.xpath.compile import CompiledQuery, PlanKind
+from repro.xpath.compile import CompiledQuery, PlanKind, resolve_auto
+from repro.xpath.estimate import predict_io_costs
 
 
 class QuerySession:
@@ -47,10 +49,20 @@ class QuerySession:
         self.options = options or db.eval_options
         self._plans: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._warm_ctx: EvalContext | None = None
+        #: measured-outcome feedback for the AUTO chooser
+        #: (:class:`~repro.exec.calibration.CalibrationStore`); ``None``
+        #: when the session's options disable calibration — the feature
+        #: then has no state and costs nothing, like tracer/synopsis/WAL
+        self.calibration: CalibrationStore | None = (
+            CalibrationStore() if self.options.calibration else None
+        )
         #: plan-cache counters
         self.cache_hits = 0
         self.cache_misses = 0
         self.compiles = 0
+        #: cached AUTO plans recompiled because the feedback store would
+        #: now resolve them differently (measured override or exploration)
+        self.replans = 0
         #: aggregate accounting across every run of this session
         self.runs = 0
         self.degraded_runs = 0
@@ -74,12 +86,29 @@ class QuerySession:
 
         Compiled plans are stateless (operator trees are instantiated per
         execution), so one cache entry serves any number of runs.
+
+        With calibration on, a cached AUTO plan is revalidated against
+        the feedback store: if the store would resolve any of its paths
+        to a different family today (a measured outcome arrived, or a
+        low-confidence choice is due an exploration run), the entry is
+        dropped and the query recompiles — compilation is off the
+        simulated clock, so the replan is free in simulated time.
         """
         kind = plan if isinstance(plan, PlanKind) else PlanKind(plan)
         opts = options or self.options
         key = (query, doc, kind.value, opts)
         tracer = self.env.tracer
+        advisor = self.calibration if opts.calibration else None
         cached = self._plans.get(key)
+        if (
+            cached is not None
+            and advisor is not None
+            and cached.auto_choices
+            and self._advice_stale(cached, doc, opts, advisor)
+        ):
+            del self._plans[key]
+            self.replans += 1
+            cached = None
         if cached is not None:
             self._plans.move_to_end(key)
             self.cache_hits += 1
@@ -90,11 +119,29 @@ class QuerySession:
         self.compiles += 1
         if tracer is not None:
             tracer.plan_cache_event(False, query, doc, kind.value)
-        compiled = self.db.prepare(query, doc, kind, opts)
+        compiled = self.db.prepare(query, doc, kind, opts, advisor=advisor)
         self._plans[key] = compiled
         while len(self._plans) > self.cache_size:
             self._plans.popitem(last=False)
         return compiled
+
+    def _advice_stale(
+        self,
+        compiled: CompiledQuery,
+        doc: str,
+        opts: EvalOptions,
+        advisor: CalibrationStore,
+    ) -> bool:
+        """True if the store would resolve any AUTO path differently now."""
+        document = self.db.store.document(doc)
+        geometry = self.db.geometry
+        for record in compiled.auto_choices:
+            choice, _, _ = resolve_auto(
+                document, list(record.steps), geometry, opts, advisor
+            )
+            if choice != record.choice:
+                return True
+        return False
 
     def clear_cache(self) -> None:
         """Drop every cached plan (counters are kept)."""
@@ -161,7 +208,47 @@ class QuerySession:
             ),
         )
         self._account(result)
+        self.observe_run(compiled, doc, result.total_time, options)
         return result
+
+    def observe_run(
+        self,
+        compiled: CompiledQuery,
+        doc: str,
+        total_time: float,
+        options: EvalOptions | None = None,
+    ) -> bool:
+        """Feed one run's simulated total into the calibration store.
+
+        Only clean measurements are deposited: the session must be cold
+        (a warm buffer would make the first-observed family look slower
+        than the second) and the query must be a single location path
+        whose plan is one of the chooser's two families — multi-path and
+        shared-I/O timings cannot be attributed to one (shape, plan)
+        pair.  Returns True when an observation was recorded.
+        """
+        store = self.calibration
+        opts = options or self.options
+        if store is None or not opts.calibration or self.warm:
+            return False
+        plans = compiled.path_plans()
+        if len(plans) != 1:
+            return False
+        path = plans[0]
+        if path.kind not in (PlanKind.XSCAN, PlanKind.XSCHEDULE):
+            return False
+        document = self.db.store.document(doc)
+        prediction = predict_io_costs(
+            document,
+            path.steps,
+            self.db.geometry,
+            use_synopsis=opts.synopsis,
+            queue_depth=opts.k_min_queue,
+        )
+        store.observe(
+            document.name, path.steps, path.kind.value, total_time, prediction
+        )
+        return True
 
     def run_batch(
         self,

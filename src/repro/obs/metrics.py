@@ -34,6 +34,7 @@ class TraceSummary:
     retry_histogram: dict[int, int] = field(default_factory=dict)
     plan_cache: dict[str, int] = field(default_factory=dict)
     batches: dict[str, int] = field(default_factory=dict)
+    plan_choices: dict[str, int] = field(default_factory=dict)
     events_recorded: int = 0
     events_dropped: int = 0
 

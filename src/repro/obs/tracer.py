@@ -94,6 +94,8 @@ class Tracer:
         self.plan_cache = {"hits": 0, "misses": 0}
         #: batch routing decisions
         self.batches = {"batches": 0, "scan_shared": 0, "interleaved": 0}
+        #: AUTO plan-choice resolutions by decision source
+        self.plan_choices = {"estimator": 0, "measured": 0, "explore": 0}
         #: largest simulated timestamp seen (for events outside any clock)
         self.last_ts = 0.0
 
@@ -172,6 +174,31 @@ class Tracer:
             args={"query": query, "doc": doc, "plan": plan},
         )
 
+    def plan_choice_event(
+        self,
+        chosen: str,
+        source: str,
+        sequential_cost: float | None = None,
+        random_cost: float | None = None,
+        margin: float | None = None,
+    ) -> None:
+        """One AUTO resolution (planning is off the sim clock, like the
+        plan cache): the chosen family, why it won (``estimator`` /
+        ``measured`` / ``explore``) and the predicted costs behind it."""
+        self.plan_choices[source] = self.plan_choices.get(source, 0) + 1
+        self.event(
+            self.last_ts,
+            "session",
+            "plan-choice",
+            args={
+                "chosen": chosen,
+                "source": source,
+                "sequential_cost": sequential_cost,
+                "random_cost": random_cost,
+                "margin": margin,
+            },
+        )
+
     def batch_event(
         self, ts: float, queries: int, scan_shared: int, interleaved: int
     ) -> None:
@@ -217,6 +244,7 @@ class Tracer:
             retry_histogram=dict(self.retry_histogram),
             plan_cache=dict(self.plan_cache),
             batches=dict(self.batches),
+            plan_choices=dict(self.plan_choices),
             events_recorded=self.events_recorded,
             events_dropped=self.dropped,
         )

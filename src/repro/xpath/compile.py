@@ -20,7 +20,7 @@ R-optimisation of Sec. 5.4.5.4 instead.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.axes import Axis
 from repro.algebra.context import EvalContext, EvalOptions
@@ -56,7 +56,7 @@ from repro.xpath.ast import (
     StringLiteral,
     UnionExpr,
 )
-from repro.xpath.estimate import choose_io_operator
+from repro.xpath.estimate import IOCostPrediction, predict_io_costs
 from repro.xpath.parser import parse_query
 
 
@@ -158,6 +158,59 @@ def _rewrite_descendant(steps: list[CompiledStep]) -> list[CompiledStep]:
     return out
 
 
+# ------------------------------------------------------------ AUTO resolution
+
+
+@dataclass(frozen=True)
+class AutoChoice:
+    """One AUTO resolution, recorded on the compiled query.
+
+    The session's plan cache uses these to revalidate a cached AUTO plan
+    against the live feedback store: if resolving ``steps`` today would
+    pick a different family than ``choice``, the cached plan is stale
+    and the query recompiles (compilation is off the simulated clock, so
+    replanning is free in simulated time).
+    """
+
+    steps: tuple[CompiledStep, ...]
+    choice: str  #: resolved family ("xscan" / "xschedule")
+    source: str  #: "estimator", "measured" or "explore"
+
+
+def resolve_auto(
+    document: StoredDocument,
+    steps: list[CompiledStep],
+    geometry: DiskGeometry,
+    options: EvalOptions,
+    advisor: object | None = None,
+) -> tuple[str, str, IOCostPrediction | None]:
+    """Resolve one AUTO path: ``(choice, source, prediction)``.
+
+    The estimator predicts both families' costs (priced with the
+    advisor's fitted :class:`~repro.sim.costmodel.ChooserCostModel` when
+    one exists); the advisor — a
+    :class:`~repro.exec.calibration.CalibrationStore`, or ``None`` when
+    calibration is off — may then override the pick with a measured
+    outcome or an exploration run.
+    """
+    model = advisor.model if advisor is not None else None
+    prediction = predict_io_costs(
+        document,
+        steps,
+        geometry,
+        use_synopsis=options.synopsis,
+        queue_depth=options.k_min_queue,
+        model=model,
+    )
+    choice = "xschedule" if prediction is None else prediction.choice
+    source = "estimator"
+    if advisor is not None:
+        advice = advisor.advise(document.name, steps, prediction)
+        if advice is not None:
+            choice, source = advice
+    return choice, source, prediction
+
+
 # ---------------------------------------------------------------- path plans
 
 
@@ -239,6 +292,9 @@ class CompiledQuery:
     query: str
     plan_kinds: list[PlanKind]
     shared_scan: bool = False  #: evaluate all paths in one physical scan
+    #: AUTO resolutions made during compilation (empty for forced plans);
+    #: the session plan cache revalidates these against the feedback store
+    auto_choices: list[AutoChoice] = field(default_factory=list)
 
     def execute(self, ctx: EvalContext) -> tuple[float | None, list[NodeID] | None]:
         """Run the query; returns ``(value, nodes)`` (one of them None).
@@ -422,13 +478,22 @@ def compile_query(
     plan: PlanKind | str = PlanKind.AUTO,
     options: EvalOptions | None = None,
     geometry: DiskGeometry | None = None,
+    advisor: object | None = None,
+    tracer: object | None = None,
 ) -> CompiledQuery:
-    """Compile ``query`` against ``document`` into an executable plan."""
+    """Compile ``query`` against ``document`` into an executable plan.
+
+    ``advisor`` (a :class:`~repro.exec.calibration.CalibrationStore`)
+    lets AUTO consult measured outcomes; ``tracer`` records one
+    ``plan-choice`` event per AUTO resolution.  Both are planning-time
+    only — the compiled plan is the same object either way.
+    """
     expr = parse_query(query) if isinstance(query, str) else query
     kind = PlanKind(plan) if not isinstance(plan, PlanKind) else plan
     opts = options or EvalOptions()
     geo = geometry or DiskGeometry()
     kinds: list[PlanKind] = []
+    auto_choices: list[AutoChoice] = []
 
     def compile_path(path: LocationPath) -> CompiledPathPlan:
         if not path.absolute:
@@ -445,9 +510,21 @@ def compile_query(
             steps = _rewrite_descendant(steps)
         resolved = kind
         if resolved is PlanKind.AUTO:
-            resolved = PlanKind(
-                choose_io_operator(document, steps, geo, use_synopsis=opts.synopsis)
-            )
+            choice, source, prediction = resolve_auto(document, steps, geo, opts, advisor)
+            resolved = PlanKind(choice)
+            auto_choices.append(AutoChoice(tuple(steps), choice, source))
+            if tracer is not None:
+                tracer.plan_choice_event(
+                    choice,
+                    source,
+                    sequential_cost=(
+                        prediction.sequential_cost if prediction is not None else None
+                    ),
+                    random_cost=(
+                        prediction.random_cost if prediction is not None else None
+                    ),
+                    margin=prediction.margin if prediction is not None else None,
+                )
         desc_root_opt = (
             opts.descendant_root_opt
             and resolved in (PlanKind.XSCAN, PlanKind.XSCAN_SHARED)
@@ -500,4 +577,5 @@ def compile_query(
         query=str(expr),
         plan_kinds=kinds,
         shared_scan=kind is PlanKind.XSCAN_SHARED,
+        auto_choices=auto_choices,
     )

@@ -12,6 +12,13 @@ The estimator tracks the result multiset as a distribution over tags,
 which is exact for paths over acyclic schemata like XMark's and a decent
 approximation elsewhere.  Upward and sibling steps are estimated crudely
 (whole-tag counts), which only makes AUTO conservative for such paths.
+
+:func:`predict_io_costs` exposes the full prediction (both sides of the
+comparison, the visited-page estimate and the decision margin) so the
+validation harness (:mod:`repro.xpath.validate`) can score every decision
+against the simulator, and so the session-level feedback store
+(:mod:`repro.exec.calibration`) can tell a confident choice from a coin
+flip.  :func:`choose_io_operator` stays as the thin historical wrapper.
 """
 
 from __future__ import annotations
@@ -67,6 +74,9 @@ def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathE
                     new[target_tag] = new.get(target_tag, 0.0) + reached
             if step.axis is Axis.DESCENDANT_OR_SELF:
                 for tag, weight in dist.items():
+                    # the step enumerates (and tests) every context node
+                    # itself, not just its proper descendants
+                    visited += weight
                     if _test_allows(step, tag):
                         new[tag] = new.get(tag, 0.0) + weight
         elif step.axis is Axis.SELF:
@@ -80,6 +90,15 @@ def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathE
             for tag, count in stats.tag_counts.items():
                 if _test_allows(step, tag):
                     new[tag] = min(float(count), frontier * count / max(1, stats.n_nodes) + 1.0)
+            # the per-tag `+ 1.0` keeps single-tag estimates from
+            # rounding to zero, but on a wide tag dictionary the sum of
+            # those floors can dwarf the incoming frontier; rescale so
+            # the fallback never *amplifies* cardinality
+            summed = sum(new.values())
+            if summed > frontier > 0.0:
+                scale = frontier / summed
+                for tag in new:
+                    new[tag] *= scale
             visited += frontier
         dist = new
         if not dist:
@@ -98,18 +117,100 @@ def _test_allows(step: CompiledStep, tag: int) -> bool:
     return step.test.tag is None or step.test.tag == tag
 
 
-def choose_io_operator(
+# --------------------------------------------------------- I/O prediction
+
+
+@dataclass(frozen=True, slots=True)
+class IOCostPrediction:
+    """Both sides of the XScan-vs-XSchedule cost comparison.
+
+    ``sequential_io`` / ``random_io`` are the pure I/O terms; the
+    ``*_cost`` fields add the CPU terms of a
+    :class:`~repro.sim.costmodel.ChooserCostModel` when one was supplied
+    (they equal the I/O terms otherwise) and are what the decision
+    compares.
+    """
+
+    sequential_io: float  #: modeled cost of one sequential pass
+    random_io: float  #: modeled cost of random reads of the visited pages
+    sequential_cost: float  #: sequential_io + modeled scan CPU
+    random_cost: float  #: random_io + modeled navigation CPU
+    visited_pages: float  #: pages the XSchedule plan is expected to touch
+    document_nodes: float  #: nodes the XScan plan processes (whole store)
+    estimate: PathEstimate  #: the cardinality estimate behind the pages
+
+    @property
+    def choice(self) -> str:
+        """The cheaper side; ties favour XSchedule (no speculative CPU)."""
+        return "xscan" if self.sequential_cost < self.random_cost else "xschedule"
+
+    @property
+    def margin(self) -> float:
+        """Absolute predicted gap between the two sides, in seconds."""
+        return abs(self.sequential_cost - self.random_cost)
+
+    @property
+    def relative_margin(self) -> float:
+        """Margin relative to the cheaper side (0 = dead heat).
+
+        The feedback store treats a decision below its threshold as a
+        coin flip worth exploring; anything above is trusted.
+        """
+        cheaper = min(self.sequential_cost, self.random_cost)
+        if cheaper <= 0.0:
+            return float("inf")
+        return self.margin / cheaper
+
+    def predicted(self, plan: str) -> float:
+        """The compared (CPU-adjusted) cost of one plan family."""
+        return self.sequential_cost if plan == "xscan" else self.random_cost
+
+    def predicted_io(self, plan: str) -> float:
+        """The pure-I/O term of one plan family (the fit's offset base)."""
+        return self.sequential_io if plan == "xscan" else self.random_io
+
+    def work_nodes(self, plan: str) -> float:
+        """The node count the plan family's CPU term scales with."""
+        return self.document_nodes if plan == "xscan" else self.estimate.visited_nodes
+
+
+def predicted_random_unit(
+    geometry: DiskGeometry, n_pages: int, visited_pages: float, queue_depth: int
+) -> float:
+    """Modeled service time of one random page read under queued I/O.
+
+    XSchedule keeps up to ``queue_depth`` requests outstanding and the
+    controller serves them shortest-seek-first, which turns a batch of
+    ``b`` random targets spread over ``n_pages`` into an elevator sweep
+    with an expected hop of ``n_pages / b`` — *not* the old fixed
+    ``n_pages // 3`` average-random-seek guess, which overcharged every
+    deep-queue plan (the validation harness audits this against the
+    simulator's measured per-layout seek distances).  The rotational
+    term mirrors the device's rotational-position optimisation exactly
+    (:meth:`repro.sim.disk.DiskDevice._start_service`).
+    """
+    batch = max(1.0, min(float(queue_depth), visited_pages))
+    hop = max(1.0, n_pages / batch)
+    rotational = geometry.rotational_latency
+    if batch > 1.0:
+        rotational *= max(0.7, 2.0 / (min(batch, 16.0) + 1.0))
+    return geometry.seek_time(hop) + rotational + geometry.transfer_time
+
+
+def predict_io_costs(
     document: StoredDocument,
     steps: list[CompiledStep],
     geometry: DiskGeometry,
     use_synopsis: bool = True,
-) -> str:
-    """Return ``"xscan"`` or ``"xschedule"`` by estimated I/O cost.
+    queue_depth: int = 100,
+    model: object | None = None,
+) -> IOCostPrediction | None:
+    """Predict both plan families' costs for one location path.
 
-    XScan reads every document page at streaming cost; XSchedule reads
-    roughly one page per cluster the path's candidate nodes occupy, at
-    random-access cost.  The cheaper side wins; ties favour XSchedule
-    (no speculative CPU overhead).
+    Returns ``None`` when the document carries no statistics (the
+    chooser then defaults to XSchedule, matching the historical
+    behaviour).  ``queue_depth`` is the plan's ``k_min_queue`` — the
+    random-I/O unit cost depends on how deep the scheduler's queue runs.
 
     When the document carries a cluster synopsis (and ``use_synopsis``
     is on), the visited-page estimate uses the measured mean cluster
@@ -120,7 +221,7 @@ def choose_io_operator(
     """
     stats = document.statistics
     if stats is None:
-        return "xschedule"
+        return None
     estimate = estimate_path(stats, steps)
     n_pages = document.n_pages
     synopsis = document.synopsis if use_synopsis else None
@@ -134,11 +235,50 @@ def choose_io_operator(
     else:
         nodes_per_page = max(1.0, stats.n_nodes / max(1, n_pages))
         visited_pages = min(float(n_pages), estimate.visited_nodes / nodes_per_page)
-    sequential_cost = n_pages * geometry.transfer_time
-    random_unit = (
-        geometry.seek_time(max(1, n_pages // 3))
-        + geometry.rotational_latency
-        + geometry.transfer_time
+    sequential_io = n_pages * geometry.transfer_time
+    random_io = visited_pages * predicted_random_unit(
+        geometry, n_pages, visited_pages, queue_depth
     )
-    random_cost = visited_pages * random_unit
-    return "xscan" if sequential_cost < random_cost else "xschedule"
+    sequential_cost = sequential_io
+    random_cost = random_io
+    document_nodes = float(stats.n_nodes)
+    if model is not None:
+        sequential_cost += model.scan_cpu_per_node * document_nodes + model.scan_overhead
+        random_cost += (
+            model.sched_cpu_per_node * estimate.visited_nodes + model.sched_overhead
+        )
+    return IOCostPrediction(
+        sequential_io=sequential_io,
+        random_io=random_io,
+        sequential_cost=sequential_cost,
+        random_cost=random_cost,
+        visited_pages=visited_pages,
+        document_nodes=document_nodes,
+        estimate=estimate,
+    )
+
+
+def choose_io_operator(
+    document: StoredDocument,
+    steps: list[CompiledStep],
+    geometry: DiskGeometry,
+    use_synopsis: bool = True,
+    queue_depth: int = 100,
+    model: object | None = None,
+) -> str:
+    """Return ``"xscan"`` or ``"xschedule"`` by estimated I/O cost.
+
+    Thin wrapper over :func:`predict_io_costs`; a document without
+    statistics picks XSchedule (only pay for what the path touches).
+    """
+    prediction = predict_io_costs(
+        document,
+        steps,
+        geometry,
+        use_synopsis=use_synopsis,
+        queue_depth=queue_depth,
+        model=model,
+    )
+    if prediction is None:
+        return "xschedule"
+    return prediction.choice

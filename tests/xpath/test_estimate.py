@@ -129,6 +129,58 @@ def test_chooser_prefers_scan_on_tiny_documents():
     assert choice in ("xscan", "xschedule")
 
 
+def test_descendant_or_self_counts_context_nodes():
+    """Regression: ``descendant-or-self`` tests every context node itself,
+    and that work must land in ``visited_nodes``.
+
+    Hand-computed tree ``#doc -> a -> (b, b)``:
+
+    * ``child::a``   — 1 initial context + 1 matching child  -> visited 2
+    * ``dos::b``     — sweeps the 2 descendants (+2) and tests the ``a``
+      context node itself (+1)                               -> visited 5
+
+    The old code skipped the self-contribution and reported 4.
+    """
+    db = make_db(("a", [("b",), ("b",)]))
+    stats = db.document("d").statistics
+    steps = [step(db, Axis.CHILD, "a"), step(db, Axis.DESCENDANT_OR_SELF, "b")]
+    estimate = estimate_path(stats, steps)
+    assert estimate.result_cardinality == pytest.approx(2.0)
+    assert estimate.visited_nodes == pytest.approx(5.0)
+    # with a node() test the self node also matches and joins the result
+    node_steps = [
+        step(db, Axis.CHILD, "a"),
+        CompiledStep(
+            Axis.DESCENDANT_OR_SELF,
+            CompiledNodeTest.compile("node", Axis.DESCENDANT_OR_SELF, None),
+        ),
+    ]
+    estimate = estimate_path(stats, node_steps)
+    assert estimate.result_cardinality == pytest.approx(3.0)
+    assert estimate.visited_nodes == pytest.approx(5.0)
+
+
+@pytest.mark.parametrize("axis", (Axis.PARENT, Axis.FOLLOWING_SIBLING))
+def test_upward_fallback_clamped_by_frontier(axis):
+    """Regression: the upward/sibling fallback's per-tag ``+ 1.0`` floor
+    summed over a wide tag dictionary used to *amplify* cardinality —
+    one context node stepping ``parent::node()`` over a 40-tag store
+    came back as ~40 nodes.  The summed fallback is now rescaled so it
+    never exceeds the incoming frontier."""
+    db = make_db(("root", [(f"t{i}",) for i in range(40)]))
+    stats = db.document("d").statistics
+    steps = [
+        step(db, Axis.CHILD, "root"),
+        CompiledStep(axis, CompiledNodeTest.compile("node", axis, None)),
+    ]
+    estimate = estimate_path(stats, steps)
+    assert estimate.result_cardinality == pytest.approx(1.0)
+    # and the clamp composes: later steps see a sane frontier
+    more = steps + [step(db, Axis.DESCENDANT, "t0")]
+    follow_on = estimate_path(stats, more)
+    assert follow_on.result_cardinality <= stats.n_nodes
+
+
 def test_synopsis_occupancy_fixes_skewed_layout_choice():
     """Regression: the uniform nodes-per-page guess mis-chooses on skew.
 

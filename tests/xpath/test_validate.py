@@ -1,0 +1,100 @@
+"""Tests for the chooser validation harness."""
+
+import json
+
+import pytest
+
+from repro.xpath.validate import (
+    audit_seek_model,
+    build_store,
+    q_error,
+    validate_many,
+    validate_query,
+)
+from tests.conftest import small_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(seed=5, n_top=60)[0]
+
+
+def test_q_error():
+    assert q_error(2.0, 1.0) == pytest.approx(2.0)
+    assert q_error(1.0, 2.0) == pytest.approx(2.0)
+    assert q_error(3.0, 3.0) == pytest.approx(1.0)
+    assert q_error(0.0, 1.0) == float("inf")
+
+
+def test_validate_query_measures_every_family(db):
+    decision = validate_query(db, "//a", doc="d", meta={"case": "unit"})
+    assert set(decision.measured) == {"simple", "xscan", "xschedule"}
+    assert set(decision.predicted) == {"xscan", "xschedule"}
+    assert len(decision.choices) == 1
+    # AUTO's total is the measured total of whichever family it picked
+    # (cold runs are deterministic)
+    choice = decision.choices[0][0]
+    assert decision.auto_total == pytest.approx(decision.measured[choice])
+    assert decision.best_total == min(
+        decision.measured["xscan"], decision.measured["xschedule"]
+    )
+    assert decision.win == (decision.regret == 0.0)
+    # single-path: both families' forced runs are clean observations
+    assert {ob.plan for ob in decision.observations} == {"xscan", "xschedule"}
+    assert all(ob.prediction is not None for ob in decision.observations)
+
+
+def test_multi_path_queries_produce_no_observations(db):
+    decision = validate_query(db, "count(//a) + count(//b)", doc="d")
+    assert len(decision.choices) == 2
+    assert decision.observations == []
+
+
+def test_report_aggregates_and_serialises(db):
+    report = validate_many(
+        [(db, "//a", {"case": "a"}), (db, "//b", {"case": "b"})], doc="d"
+    )
+    assert len(report.decisions) == 2
+    assert 0.0 <= report.win_rate <= 1.0
+    assert report.total_regret >= 0.0
+    assert report.wins == sum(1 for d in report.decisions if d.win)
+    payload = report.as_dict()
+    assert payload["points"] == 2
+    assert [row["case"] for row in payload["decisions"]] == ["a", "b"]
+    json.dumps(payload)  # the bench artifact must be JSON-clean
+
+
+def test_build_store_seeds_and_fits(db):
+    report = validate_many([(db, "//a", {})], doc="d")
+    store = build_store(report.decisions)
+    steps = list(report.decisions[0].observations[0].steps)
+    # both families observed -> the measured argmin decides, and it names
+    # the family that really was cheaper in the forced runs
+    advice = store.advise("d", steps, None)
+    assert advice is not None and advice[1] == "measured"
+    assert advice[0] == report.decisions[0].best_plan
+    assert store.model is not None
+
+
+def test_calibrated_pass_never_regresses(db):
+    points = [(db, q, {"q": q}) for q in ("//a", "//b", "/a/b")]
+    baseline = validate_many(points, doc="d")
+    calibrated = validate_many(points, doc="d", advisor=build_store(baseline.decisions))
+    assert calibrated.win_rate >= baseline.win_rate
+    assert calibrated.total_regret <= baseline.total_regret + 1e-12
+    for decision in calibrated.decisions:
+        assert decision.choices[0][1] == "measured"
+        assert decision.win
+
+
+def test_seek_audit_row(db):
+    row = audit_seek_model(db, "//a", doc="d", meta={"case": "unit"})
+    assert row.n_pages == db.document("d").n_pages
+    assert row.legacy_hop == float(row.n_pages // 3)
+    assert row.predicted_hop >= 1.0
+    payload = row.as_dict()
+    assert payload["case"] == "unit"
+    if row.measured_seeks:
+        assert payload["predicted_time_error"] >= 1.0
+        assert payload["legacy_time_error"] >= 1.0
+    json.dumps(payload)
