@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         "unpruned I/O behaviour",
     )
     parser.add_argument(
+        "--no-pathsummary",
+        action="store_true",
+        help="disable the path-summary index: no refutation of impossible "
+        "paths, no //-to-child expansion, no per-path cluster postings — "
+        "planning falls back to the tag-level synopsis and estimator",
+    )
+    parser.add_argument(
         "--no-batched",
         action="store_true",
         help="disable the batched columnar datapath: navigate record "
@@ -201,6 +208,8 @@ def eval_options_from(args: argparse.Namespace) -> EvalOptions | None:
         kwargs["latency_slo"] = args.latency_slo
     if args.no_synopsis:
         kwargs["synopsis"] = False
+    if args.no_pathsummary:
+        kwargs["pathsummary"] = False
     if args.no_batched:
         kwargs["batched"] = False
     if args.no_calibration:

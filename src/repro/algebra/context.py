@@ -141,6 +141,18 @@ class EvalOptions:
         bit-identical either way — and free when the document carries no
         synopsis.  Disable (CLI ``--no-synopsis``) to reproduce the
         paper's unpruned I/O behaviour.
+    pathsummary:
+        Consult the document's path summary
+        (:class:`~repro.storage.pathsummary.PathSummary`) in the logical
+        rewrite pass that runs before physical plan choice: refute whole
+        location paths the summary proves impossible (empty result, zero
+        I/O, no plan compilation), expand provable ``//`` steps into
+        concrete child chains, feed exact per-path cardinalities to the
+        AUTO chooser, and hand per-path cluster postings to
+        XScan/XSchedule/shared scans as a pre-scan cluster filter that
+        composes with synopsis pruning.  Conservative — results are
+        bit-identical either way — and free when the document carries no
+        summary.  Disable with CLI ``--no-pathsummary``.
     batched:
         Run the intra-cluster datapath batch-at-a-time over columnar
         cluster views (:class:`~repro.storage.colview.ColumnView`): XStep
@@ -186,6 +198,7 @@ class EvalOptions:
     scan_readahead: int = 0
     rewrite_descendant: bool = True
     synopsis: bool = True
+    pathsummary: bool = True
     batched: bool = True
     calibration: bool = True
     retry: RetryPolicy = RetryPolicy()

@@ -47,10 +47,13 @@ class _Replay(Operator):
 class _PathState:
     """Per-path machinery persisting across clusters."""
 
-    __slots__ = ("steps", "assembly", "results")
+    __slots__ = ("steps", "assembly", "results", "postings")
 
-    def __init__(self, ctx: EvalContext, steps, descendant_root_opt: bool) -> None:
+    def __init__(
+        self, ctx: EvalContext, steps, descendant_root_opt: bool, postings=None
+    ) -> None:
         self.steps = steps
+        self.postings = postings
         # the producer is swapped per cluster; XAssembly's R/S survive
         self.assembly = XAssembly(
             ctx,
@@ -87,7 +90,12 @@ def shared_scan(
     if not paths:
         raise PlanError("shared_scan needs at least one path")
     states = [
-        _PathState(ctx, plan.steps, getattr(plan, "descendant_root_opt", False))
+        _PathState(
+            ctx,
+            plan.steps,
+            getattr(plan, "descendant_root_opt", False),
+            postings=getattr(plan, "postings", None),
+        )
         for plan in paths
     ]
     root = document.root
@@ -112,6 +120,35 @@ def shared_scan(
             ctx.stats.synopsis_clusters_pruned += len(skips)
             if ctx.tracer is not None:
                 ctx.tracer.count("synopsis_clusters_pruned", len(skips))
+        if any(state.postings is not None for state in states):
+            # widen the prunable vector with each path's cluster postings
+            # (a page is skippable only when *every* path rules it out;
+            # paths without postings keep their synopsis-only verdict);
+            # the synopsis-only skips above are a pointwise subset, so the
+            # union attributes only the extra skips to the path summary
+            def ruled_out(state: _PathState, page_no: int) -> bool:
+                if state.postings is not None:
+                    return state.postings.prunable_for_scan(synopsis, page_no)
+                return synopsis.prunable_for_scan(page_no, state.steps)
+
+            combined = [
+                flag
+                or (
+                    page_no != context_cluster
+                    and all(ruled_out(state, page_no) for state in states)
+                )
+                for flag, page_no in zip(prunable, page_nos)
+            ]
+            extra = (
+                cost_effective_skips(page_nos, combined, ctx.iosys.disk.geometry)
+                - skips
+            )
+            if extra:
+                ctx.stats.pathsummary_clusters_pruned += len(extra)
+                if ctx.tracer is not None:
+                    ctx.tracer.count("pathsummary_clusters_pruned", len(extra))
+                skips = skips | extra
+        if skips:
             page_nos = [p for p in page_nos if p not in skips]
 
     try:
@@ -148,6 +185,18 @@ def shared_scan(
                         ctx.stats.synopsis_entries_pruned += 1
                         if ctx.tracer is not None:
                             ctx.tracer.count("synopsis_entries_pruned")
+                        continue
+                    if (
+                        synopsis is not None
+                        and state.postings is not None
+                        and not state.postings.can_contribute(
+                            synopsis, page_no, step_index
+                        )
+                    ):
+                        # the postings place this step's path set elsewhere
+                        ctx.stats.pathsummary_entries_pruned += 1
+                        if ctx.tracer is not None:
+                            ctx.tracer.count("pathsummary_entries_pruned")
                         continue
                     entries = (
                         page.colview().entry_slots(step.axis)

@@ -25,6 +25,7 @@ from repro.algebra.pathinstance import PathInstance
 from repro.algebra.steps import CompiledStep
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import make_nodeid
+from repro.storage.pathsummary import PathPostings
 from repro.storage.store import StoredDocument
 from repro.storage.synopsis import cost_effective_skips
 
@@ -32,7 +33,7 @@ from repro.storage.synopsis import cost_effective_skips
 class XScan(Operator):
     """The I/O-performing operator based on a single sequential scan."""
 
-    __slots__ = ("producer", "steps", "document")
+    __slots__ = ("producer", "steps", "document", "postings")
 
     def __init__(
         self,
@@ -40,11 +41,13 @@ class XScan(Operator):
         producer: Operator,
         steps: list[CompiledStep],
         document: StoredDocument,
+        postings: PathPostings | None = None,
     ) -> None:
         super().__init__(ctx)
         self.producer = producer
         self.steps = steps
         self.document = document
+        self.postings = postings
 
     def open(self) -> None:
         self.producer.open()
@@ -68,6 +71,10 @@ class XScan(Operator):
 
         page_nos = self.document.page_nos
         synopsis = self.document.synopsis if ctx.options.synopsis else None
+        # The path-summary postings refine the synopsis, never replace
+        # it: transit residues live in the synopsis rows, so the filter
+        # is only sound with the synopsis alongside.
+        postings = self.postings if synopsis is not None else None
         if synopsis is not None:
             # Skip clusters that provably cannot contribute: no pending
             # context lives there and no step's speculative resume can
@@ -90,6 +97,35 @@ class XScan(Operator):
                 ctx.stats.synopsis_clusters_pruned += len(skips)
                 if ctx.tracer is not None:
                     ctx.tracer.count("synopsis_clusters_pruned", len(skips))
+            if postings is not None:
+                # Cluster postings widen the prunable vector (any page the
+                # postings prove irrelevant is as safely skippable as a
+                # synopsis-pruned one); the synopsis-only skip set above
+                # is a pointwise subset, so taking the union keeps the
+                # synopsis counter identical to a postings-free run and
+                # attributes only the extra skips to the path summary.
+                combined = [
+                    flag
+                    or (
+                        page_no not in by_cluster
+                        and postings.prunable_for_scan(synopsis, page_no)
+                    )
+                    for flag, page_no in zip(prunable, page_nos)
+                ]
+                extra = (
+                    cost_effective_skips(
+                        page_nos, combined, ctx.iosys.disk.geometry
+                    )
+                    - skips
+                )
+                if extra:
+                    ctx.stats.pathsummary_clusters_pruned += len(extra)
+                    if ctx.tracer is not None:
+                        ctx.tracer.count(
+                            "pathsummary_clusters_pruned", len(extra)
+                        )
+                    skips = skips | extra
+            if skips:
                 page_nos = [p for p in page_nos if p not in skips]
         readahead = ctx.options.scan_readahead
         batched = ctx.options.batched
@@ -133,6 +169,16 @@ class XScan(Operator):
                     ctx.stats.synopsis_entries_pruned += 1
                     if ctx.tracer is not None:
                         ctx.tracer.count("synopsis_entries_pruned")
+                    continue
+                if postings is not None and not postings.can_contribute(
+                    synopsis, page_no, step_index
+                ):
+                    # the synopsis could not rule the cluster out, but the
+                    # postings prove no node of this step's path set lives
+                    # here and no transit residue remains either
+                    ctx.stats.pathsummary_entries_pruned += 1
+                    if ctx.tracer is not None:
+                        ctx.tracer.count("pathsummary_entries_pruned")
                     continue
                 # the columnar view's precomputed border lists replace the
                 # record scan; enumeration charges nothing in either mode

@@ -35,6 +35,7 @@ from repro.algebra.steps import CompiledStep
 from repro.errors import IOError_
 from repro.storage.nav import speculative_entries
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
+from repro.storage.pathsummary import PathPostings
 from repro.storage.store import StoredDocument
 
 
@@ -68,6 +69,7 @@ class XSchedule(Operator):
         "steps",
         "speculative",
         "synopsis",
+        "postings",
         "k",
         "_q",
         "_qcount",
@@ -92,6 +94,7 @@ class XSchedule(Operator):
         steps: list[CompiledStep],
         speculative: bool | None = None,
         document: StoredDocument | None = None,
+        postings: PathPostings | None = None,
     ) -> None:
         super().__init__(ctx)
         self.producer = producer
@@ -104,6 +107,9 @@ class XSchedule(Operator):
             if document is not None and ctx.options.synopsis
             else None
         )
+        # postings refine the synopsis (transit residues live in its
+        # rows), so the filter only engages when the synopsis does too
+        self.postings = postings if self.synopsis is not None else None
         self.k = ctx.options.k_min_queue
         self._q: dict[int, list[tuple[int, int, _QEntry]]] = {}
         self._qcount = 0
@@ -159,6 +165,20 @@ class XSchedule(Operator):
             ctx.stats.synopsis_entries_pruned += 1
             if ctx.tracer is not None:
                 ctx.tracer.count("synopsis_entries_pruned")
+            return
+        if (
+            self.postings is not None
+            and entry.resumed
+            and not ctx.fallback
+            and entry.s_r < len(self.steps)
+            and not self.postings.can_extend(self.synopsis, cluster, entry.s_r)
+        ):
+            # the synopsis alone could not refuse the request, but the
+            # postings prove the target cluster holds no node of the
+            # resumed step's path set and no transit residue onward
+            ctx.stats.pathsummary_entries_pruned += 1
+            if ctx.tracer is not None:
+                ctx.tracer.count("pathsummary_entries_pruned")
             return
         if (
             entry.resumed
@@ -365,6 +385,7 @@ class XSchedule(Operator):
         ctx = self.ctx
         page_no = page.page_no
         synopsis = self.synopsis
+        postings = self.postings
         batched = ctx.options.batched
         for step_index, step in enumerate(self.steps):
             if synopsis is not None and not synopsis.can_contribute(page_no, step):
@@ -372,6 +393,14 @@ class XSchedule(Operator):
                 ctx.stats.synopsis_entries_pruned += 1
                 if ctx.tracer is not None:
                     ctx.tracer.count("synopsis_entries_pruned")
+                continue
+            if postings is not None and not postings.can_contribute(
+                synopsis, page_no, step_index
+            ):
+                # the postings place this step's whole path set elsewhere
+                ctx.stats.pathsummary_entries_pruned += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.count("pathsummary_entries_pruned")
                 continue
             entries = (
                 page.colview().entry_slots(step.axis)

@@ -47,7 +47,13 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     # every Stats increment needs a guarded Tracer.count mirror
     "tracer-mirror": ("sim/", "algebra/", "storage/"),
     # hot per-tuple / per-page classes must declare __slots__
-    "slots": ("algebra/", "sim/", "storage/record.py", "storage/colview.py"),
+    "slots": (
+        "algebra/",
+        "sim/",
+        "storage/record.py",
+        "storage/colview.py",
+        "storage/pathsummary.py",
+    ),
     # optional subsystems stay behind `is not None` guards off-path
     "feature-gate": ("sim/", "algebra/", "storage/"),
     # dedup sets must not leak their iteration order into results
@@ -69,7 +75,16 @@ class ReplintConfig:
     #: attribute/parameter names treated as optional feature slots by the
     #: feature-gate and tracer-mirror rules
     feature_names: frozenset[str] = frozenset(
-        {"tracer", "synopsis", "batched", "faults", "wal", "crash", "calibration"}
+        {
+            "tracer",
+            "synopsis",
+            "batched",
+            "faults",
+            "wal",
+            "crash",
+            "calibration",
+            "pathsummary",
+        }
     )
     #: Stats counter names the tracer-mirror rule watches
     stats_fields: frozenset[str] = field(default_factory=_stats_field_names)

@@ -243,6 +243,7 @@ class QuerySession:
             path.steps,
             self.db.geometry,
             use_synopsis=opts.synopsis,
+            use_pathsummary=opts.pathsummary,
             queue_depth=opts.k_min_queue,
         )
         store.observe(

@@ -199,6 +199,29 @@ class Tracer:
             },
         )
 
+    def rewrite_event(
+        self,
+        query: str,
+        refuted: bool,
+        expanded: int,
+        cardinality: float | None = None,
+    ) -> None:
+        """One path-summary rewrite decision (planning is off the sim
+        clock): whether the path was refuted outright, how many
+        ``descendant`` steps were expanded into child chains, and the
+        exact cardinality when the summary proved one."""
+        self.event(
+            self.last_ts,
+            "session",
+            "path-refuted" if refuted else "path-rewrite",
+            args={
+                "query": query,
+                "refuted": refuted,
+                "expanded": expanded,
+                "cardinality": cardinality,
+            },
+        )
+
     def batch_event(
         self, ts: float, queries: int, scan_shared: int, interleaved: int
     ) -> None:

@@ -67,6 +67,16 @@ class Stats:
     #: XSchedule declined to enqueue, and (page, step) speculation
     #: rounds XScan skipped on pages it still had to read
     synopsis_entries_pruned: int = 0
+    #: whole location paths the path summary refuted at compile time
+    #: (the plan ran as a constant-empty result: zero pages requested)
+    paths_refuted: int = 0
+    #: clusters skipped *only* thanks to the path-summary postings —
+    #: counted on top of (never instead of) ``synopsis_clusters_pruned``,
+    #: which keeps its synopsis-only semantics
+    pathsummary_clusters_pruned: int = 0
+    #: per-step extensions dropped only thanks to the postings (same
+    #: attribution rule as ``pathsummary_clusters_pruned``)
+    pathsummary_entries_pruned: int = 0
 
     def merge(self, other: "Stats") -> None:
         """Add every counter of ``other`` into this bundle."""

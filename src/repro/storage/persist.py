@@ -27,12 +27,20 @@ Format (all integers little-endian)::
     document: str name | u64 root | u32 n_pages | page_nos
               | u64 n_nodes | u32 borders | u32 continuations
               | synopsis                                     (version >= 2)
+              | pathsummary                                  (version >= 4)
     synopsis: u8 present | (u32 n_rows | n_rows x row)?
     row:      u32 page_no | bitset tag_bits | bitset entry_bits
               | u8 flags | u32 occupancy
     bitset:   u16 n_bytes | n_bytes little-endian bytes
+    pathsummary: u8 present | (u32 n_pages | n_pages x pagerow)?
+    pagerow:  u32 page_no | u32 n_paths | n_paths x path
+    path:     u16 chain_len | chain_len x u32 tag | u8 kind | u32 count
 
-Version 3 adds durability to the *file*, not the layout: the body bytes
+Version 4 appends the per-document path summary (per-page path rows,
+from which counts and cluster postings are re-aggregated at load); the
+cluster postings themselves are never serialised — page rows are the
+canonical decomposition, exactly as for the synopsis.  Version 3 adds
+durability to the *file*, not the layout: the body bytes
 are identical to version 2, but the header carries the checkpoint LSN
 (see :mod:`repro.storage.wal`), a CRC32 over the body, and the body
 length — so a torn or bit-rotted checkpoint is *detected* at load time
@@ -46,7 +54,8 @@ context, never a bare :class:`struct.error`.
 
 Statistics and import results are not persisted; use
 :func:`repro.storage.store.recollect_statistics` /
-:func:`~repro.storage.store.recollect_synopsis` after loading if the
+:func:`~repro.storage.store.recollect_synopsis` /
+:func:`~repro.storage.store.recollect_pathsummary` after loading if the
 AUTO plan chooser and the pruning layers should have them.
 """
 
@@ -69,6 +78,7 @@ from repro.storage.nodeid import NodeID
 from repro.storage.ordpath import OrdPath
 from repro.storage.page import Page
 from repro.storage.record import BorderRecord, CoreRecord
+from repro.storage.pathsummary import PathSummary
 from repro.storage.store import DocumentStore, StoredDocument
 from repro.storage.synopsis import ClusterSynopsis
 
@@ -76,7 +86,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.faults import CrashInjector
 
 _MAGIC = b"RPRO"
-_VERSION = 3
+_VERSION = 4
 _MIN_VERSION = 1
 
 #: v3 header tail after ``magic | u16 version | u32 page_size``:
@@ -171,6 +181,50 @@ def _read_synopsis(inp: BinaryIO) -> ClusterSynopsis | None:
     return ClusterSynopsis.from_rows(rows)
 
 
+def _write_pathsummary(out: BinaryIO, summary: PathSummary | None) -> None:
+    if summary is None:
+        out.write(b"\x00")
+        return
+    out.write(b"\x01")
+    pages = summary.page_rows()
+    out.write(struct.pack("<I", len(pages)))
+    for page_no in sorted(pages):
+        rows = pages[page_no]
+        out.write(struct.pack("<II", page_no, len(rows)))
+        for chain, kind in sorted(rows):
+            out.write(struct.pack("<H", len(chain)))
+            if chain:
+                out.write(struct.pack(f"<{len(chain)}I", *chain))
+            out.write(struct.pack("<BI", kind, rows[(chain, kind)]))
+
+
+def _read_pathsummary(inp: BinaryIO) -> PathSummary | None:
+    present = _read_exact(inp, 1, "path summary marker")
+    if present == b"\x00":
+        return None
+    (n_pages,) = struct.unpack("<I", _read_exact(inp, 4, "path summary page count"))
+    pages: dict[int, dict[tuple[tuple[int, ...], int], int]] = {}
+    for _ in range(n_pages):
+        page_no, n_paths = struct.unpack(
+            "<II", _read_exact(inp, 8, "path summary page header")
+        )
+        rows: dict[tuple[tuple[int, ...], int], int] = {}
+        for _ in range(n_paths):
+            (chain_len,) = struct.unpack(
+                "<H", _read_exact(inp, 2, "path chain length")
+            )
+            chain = struct.unpack(
+                f"<{chain_len}I",
+                _read_exact(inp, 4 * chain_len, "path chain tags"),
+            )
+            kind, count = struct.unpack(
+                "<BI", _read_exact(inp, 5, "path row")
+            )
+            rows[(chain, kind)] = count
+        pages[page_no] = rows
+    return PathSummary.from_page_rows(pages)
+
+
 def _write_record(out: BinaryIO, record) -> None:
     if record is None:
         out.write(b"\x00")
@@ -256,8 +310,14 @@ def _read_record(inp: BinaryIO):
     raise StoreCorruptError(f"corrupt store file: unknown record tag {kind_tag!r}")
 
 
-def _write_body(store: DocumentStore, out: BinaryIO) -> None:
-    """Serialise tags, pages and catalog (byte-identical to the v2 body)."""
+def _write_body(store: DocumentStore, out: BinaryIO, version: int) -> None:
+    """Serialise tags, pages and catalog for the given format version.
+
+    The v2/v3 bodies are byte-identical; v4 appends the path-summary
+    block after each document's synopsis.  ``version`` is threaded in
+    (rather than read from the module) so the caller resolves the
+    monkeypatchable ``_VERSION`` exactly once per save.
+    """
     names = store.tags.names()
     out.write(struct.pack("<I", len(names)))
     for name in names:
@@ -276,6 +336,8 @@ def _write_body(store: DocumentStore, out: BinaryIO) -> None:
             struct.pack("<QII", doc.n_nodes, doc.n_border_pairs, doc.n_continuations)
         )
         _write_synopsis(out, doc.synopsis)
+        if version >= 4:
+            _write_pathsummary(out, doc.pathsummary)
 
 
 def _read_body(inp: BinaryIO, version: int, page_size: int) -> DocumentStore:
@@ -320,6 +382,7 @@ def _read_body(inp: BinaryIO, version: int, page_size: int) -> DocumentStore:
             "<QII", _read_exact(inp, 16, "document counters")
         )
         synopsis = _read_synopsis(inp) if version >= 2 else None
+        pathsummary = _read_pathsummary(inp) if version >= 4 else None
         store.documents[name] = StoredDocument(
             name=name,
             root=NodeID(root),
@@ -330,6 +393,7 @@ def _read_body(inp: BinaryIO, version: int, page_size: int) -> DocumentStore:
             import_result=None,  # type: ignore[arg-type]
             statistics=None,
             synopsis=synopsis,
+            pathsummary=pathsummary,
         )
     return store
 
@@ -352,14 +416,15 @@ def save_store(
     a :class:`~repro.sim.faults.CrashPoint` can die at any stage of the
     checkpoint.
     """
-    body_io = io.BytesIO()
-    _write_body(store, body_io)
-    body = body_io.getvalue()
-    page_size = store.segment.page_size
     # _VERSION is read at call time (not closure-bound) so tests can
     # monkeypatch it to synthesize older-format files; the checksum
-    # block only exists in v3+ headers
+    # block only exists in v3+ headers and the path-summary block
+    # only in v4+ bodies
     version = _VERSION
+    body_io = io.BytesIO()
+    _write_body(store, body_io, version)
+    body = body_io.getvalue()
+    page_size = store.segment.page_size
     header = _MAGIC + struct.pack("<HI", version, page_size)
     if version >= 3:
         header += _HEADER_V3.pack(store.checkpoint_lsn, zlib.crc32(body), len(body))

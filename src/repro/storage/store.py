@@ -18,6 +18,7 @@ from repro.model.tree import Kind, LogicalTree
 from repro.storage.importer import ImportOptions, ImportResult, import_tree
 from repro.storage.nodeid import NodeID, make_nodeid, page_of, slot_of
 from repro.storage.page import Segment
+from repro.storage.pathsummary import PathSummary
 from repro.storage.record import BorderRecord, CoreRecord
 from repro.storage.synopsis import ClusterSynopsis
 
@@ -86,6 +87,10 @@ class StoredDocument:
     #: Per-cluster structural summary; None disables synopsis pruning
     #: (structural updates invalidate it until recollected).
     synopsis: ClusterSynopsis | None = field(default=None, repr=False)
+    #: Document-level path summary (root-to-node path trie with counts
+    #: and cluster postings); None disables the whole-query rewrite pass
+    #: until recollected or repaired.
+    pathsummary: PathSummary | None = field(default=None, repr=False)
 
     @property
     def n_pages(self) -> int:
@@ -141,6 +146,7 @@ class DocumentStore:
             import_result=result,
             statistics=DocumentStatistics.collect(tree),
             synopsis=ClusterSynopsis.collect(result.pages),
+            pathsummary=PathSummary.collect_from_tree(tree, result.node_page),
         )
         self.documents[name] = doc
         return doc
@@ -253,6 +259,56 @@ def repair_synopsis(
     synopsis = base.patched(fresh) if fresh else base
     doc.synopsis = synopsis
     return synopsis
+
+
+def recollect_pathsummary(store: DocumentStore, doc: StoredDocument) -> PathSummary:
+    """Rebuild the path summary from the physical pages.
+
+    Used after loading a store whose format predates the summary (v1-v3)
+    and as the fallback when incremental repair has no base to patch.
+    Produces a summary identical to the import-time collection — the
+    cross-version persistence tests assert the equivalence.
+    """
+    summary = PathSummary.collect(store.segment, doc.page_nos)
+    doc.pathsummary = summary
+    return summary
+
+
+def repair_pathsummary(
+    store: DocumentStore,
+    doc: StoredDocument,
+    base: PathSummary | None,
+    touched_page_nos,
+) -> PathSummary:
+    """Rebuild the path summary from ``base`` by recollecting touched pages.
+
+    The path-summary twin of :func:`repair_synopsis`, driven by the same
+    ``Page.version`` change tracking: rows for pages the update run
+    touched are recollected from the physical records (resolving root
+    chains may read ancestor pages, which is free — planning metadata is
+    maintained off the simulated clock) and patched over the base.
+    Structural updates only change paths of nodes on pages they touch
+    (inserted/deleted/relocated records), so O(touched) rows suffice;
+    the result must be indistinguishable from a full recollect.
+    """
+    if base is None:
+        return recollect_pathsummary(store, doc)
+    mine = set(doc.page_nos)
+    resolver = None
+    fresh = {}
+    for page_no in sorted(touched_page_nos):
+        if page_no not in mine:
+            continue
+        if resolver is None:
+            from repro.storage.pathsummary import _ChainResolver
+
+            resolver = _ChainResolver(store.segment)
+        fresh[page_no] = PathSummary.collect_row(
+            store.segment, store.segment.page(page_no), resolver
+        )
+    summary = base.patched(fresh) if fresh else base
+    doc.pathsummary = summary
+    return summary
 
 
 def check_document(store: DocumentStore, doc: StoredDocument) -> None:

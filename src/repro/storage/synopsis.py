@@ -234,6 +234,47 @@ class ClusterSynopsis:
             return bool(flags & HAS_UPSIDE) or _test_bits(tag_bits, step.test)
         return True  # self / sibling axes: never prune a targeted resume
 
+    def contribute_transit(self, page_no: int, axis: Axis) -> bool:
+        """Could a *speculative* resume in this cluster transit into
+        another cluster, regardless of node tests?
+
+        The tag-free residue of :meth:`can_contribute`, consulted when a
+        path-summary posting refines the candidate half of the verdict
+        (:class:`repro.storage.pathsummary.PathPostings`): a cluster may
+        only be dropped when the postings rule out a candidate *and*
+        this residue rules out a transit.
+        """
+        row = self._rows.get(page_no)
+        if row is None:
+            return True  # unknown cluster: never prune
+        flags = row[2]
+        if axis is Axis.SELF:
+            return False  # no speculative entries exist for self
+        if axis is Axis.CHILD or axis is Axis.ATTRIBUTE:
+            return bool(flags & HAS_UPSIDE) and bool(flags & CHILD_TRANSIT)
+        if axis is Axis.DESCENDANT or axis is Axis.DESCENDANT_OR_SELF:
+            return bool(flags & HAS_UPSIDE) and bool(flags & (HAS_DOWN | CHILD_TRANSIT))
+        if axis.is_upward:
+            return bool(flags & HAS_DOWN) and bool(flags & HAS_UPSIDE)
+        # sibling axes: transits are too varied to rule out
+        return bool(flags & (HAS_DOWN | HAS_UPSIDE))
+
+    def extend_transit(self, page_no: int, axis: Axis) -> bool:
+        """Could a *targeted* resume in this cluster transit onward,
+        regardless of node tests?  The tag-free residue of
+        :meth:`can_extend`, for the same postings refinement."""
+        row = self._rows.get(page_no)
+        if row is None:
+            return True
+        flags = row[2]
+        if axis is Axis.CHILD or axis is Axis.ATTRIBUTE:
+            return bool(flags & CHILD_TRANSIT)
+        if axis is Axis.DESCENDANT or axis is Axis.DESCENDANT_OR_SELF:
+            return bool(flags & (HAS_DOWN | CHILD_TRANSIT))
+        if axis.is_upward:
+            return bool(flags & HAS_UPSIDE)
+        return True  # self / sibling axes: never prune a targeted resume
+
     # -- estimator accessors -------------------------------------------
 
     @property

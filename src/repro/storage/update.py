@@ -619,16 +619,17 @@ def update_value(store: DocumentStore, nid: NodeID, value: str) -> None:
 
 
 def _invalidate_statistics(doc: StoredDocument) -> None:
-    """Schema statistics and the cluster synopsis are import-time
-    snapshots; drop both on structural update.
+    """Schema statistics, cluster synopsis and path summary are
+    import-time snapshots; drop all three on structural update.
 
     Called *before* an operation's first mutation, so even a failed or
     interrupted update leaves no stale snapshot behind.  The AUTO plan
-    chooser then degrades to its statistics-free default and synopsis
-    pruning disables itself until the document is re-imported, the
-    statistics/synopsis recollected, or — under WAL management
-    (:mod:`repro.storage.wal`) — the synopsis repaired incrementally
-    right after the operation.
+    chooser then degrades to its statistics-free default and synopsis/
+    path-summary pruning disables itself until the document is
+    re-imported, the snapshots recollected, or — under WAL management
+    (:mod:`repro.storage.wal`) — the synopsis and path summary repaired
+    incrementally right after the operation.
     """
     doc.statistics = None
     doc.synopsis = None
+    doc.pathsummary = None

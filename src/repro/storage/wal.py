@@ -85,7 +85,12 @@ from repro.model.tree import Kind
 from repro.sim.faults import CRASH_WAL_APPEND, CRASH_WAL_TRUNCATE
 from repro.storage.nodeid import NodeID
 from repro.storage.persist import load_store, save_store
-from repro.storage.store import DocumentStore, StoredDocument, repair_synopsis
+from repro.storage.store import (
+    DocumentStore,
+    StoredDocument,
+    repair_pathsummary,
+    repair_synopsis,
+)
 from repro.storage.update import delete_subtree, insert_node, update_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -203,18 +208,20 @@ def _maintained_apply(
     versions: list[int],
     apply,
 ):
-    """Run one update operation with synopsis maintenance around it.
+    """Run one update operation with snapshot maintenance around it.
 
-    Captures the document's synopsis before the operation nulls it,
-    applies, then patches rows for exactly the pages the operation
-    touched.  Shared verbatim by live logged operations and recovery
-    replay — which is what makes the recovered synopsis bit-identical
-    to the uncrashed one.
+    Captures the document's synopsis and path summary before the
+    operation nulls them, applies, then patches rows for exactly the
+    pages the operation touched.  Shared verbatim by live logged
+    operations and recovery replay — which is what makes the recovered
+    snapshots bit-identical to the uncrashed ones.
     """
     base = doc.synopsis
+    base_summary = doc.pathsummary
     result = apply()
     touched = _touched_pages(store, versions)
     repair_synopsis(store, doc, base, touched)
+    repair_pathsummary(store, doc, base_summary, touched)
     return result, touched
 
 

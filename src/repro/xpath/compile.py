@@ -56,8 +56,10 @@ from repro.xpath.ast import (
     StringLiteral,
     UnionExpr,
 )
+from repro.storage.pathsummary import PathPostings
 from repro.xpath.estimate import IOCostPrediction, predict_io_costs
 from repro.xpath.parser import parse_query
+from repro.xpath.rewrite import rewrite_path
 
 
 def _is_node_set(node: object) -> bool:
@@ -201,6 +203,7 @@ def resolve_auto(
         use_synopsis=options.synopsis,
         queue_depth=options.k_min_queue,
         model=model,
+        use_pathsummary=options.pathsummary,
     )
     choice = "xschedule" if prediction is None else prediction.choice
     source = "estimator"
@@ -222,6 +225,12 @@ class CompiledPathPlan:
     kind: PlanKind  #: resolved (never AUTO)
     document: StoredDocument
     descendant_root_opt: bool
+    #: the path summary proved the result empty at compile time: the
+    #: plan executes as a constant-empty result (zero pages requested)
+    refuted: bool = False
+    #: per-step cluster postings from the rewrite pass (None when the
+    #: summary is absent or ``EvalOptions.pathsummary`` is off)
+    postings: PathPostings | None = None
 
     def build(self, ctx: EvalContext) -> Operator:
         """Instantiate the operator tree for one execution."""
@@ -233,13 +242,21 @@ class CompiledPathPlan:
                 top = UnnestMap(ctx, top, index, step)
             return DuplicateElimination(ctx, top)
         if self.kind is PlanKind.XSCHEDULE:
-            schedule = XSchedule(ctx, source, self.steps, document=self.document)
+            schedule = XSchedule(
+                ctx,
+                source,
+                self.steps,
+                document=self.document,
+                postings=self.postings,
+            )
             top = schedule
             for index, step in enumerate(self.steps, start=1):
                 top = XStep(ctx, top, index, step)
             return XAssembly(ctx, top, len(self.steps), schedule=schedule)
         if self.kind is PlanKind.XSCAN:
-            scan = XScan(ctx, source, self.steps, self.document)
+            scan = XScan(
+                ctx, source, self.steps, self.document, postings=self.postings
+            )
             top = scan
             for index, step in enumerate(self.steps, start=1):
                 top = XStep(ctx, top, index, step)
@@ -252,7 +269,15 @@ class CompiledPathPlan:
             )
         raise UnsupportedQueryError(f"unresolved plan kind {self.kind}")
 
+    def _note_refuted(self, ctx: EvalContext) -> None:
+        ctx.stats.paths_refuted += 1
+        if ctx.tracer is not None:
+            ctx.tracer.count("paths_refuted")
+
     def run_count(self, ctx: EvalContext) -> int:
+        if self.refuted:
+            self._note_refuted(ctx)
+            return 0
         # idempotent: a no-op when CompiledQuery.execute armed it already
         armed = ctx.arm_budget(ctx.options.budget)
         top = self.build(ctx)
@@ -265,6 +290,9 @@ class CompiledPathPlan:
             ctx.fallback = False
 
     def run_nodes(self, ctx: EvalContext, ordered: bool = True) -> list[NodeID]:
+        if self.refuted:
+            self._note_refuted(ctx)
+            return []
         armed = ctx.arm_budget(ctx.options.budget)
         try:
             top = self.build(ctx)
@@ -362,6 +390,9 @@ class CompiledQuery:
     @staticmethod
     def _explain_path(plan: "CompiledPathPlan", lines: list[str], indent: int) -> None:
         pad = "  " * indent
+        if plan.refuted:
+            lines.append(f"{pad}ConstEmpty (path refuted by the path summary)")
+            return
         if plan.kind is PlanKind.SIMPLE:
             lines.append(f"{pad}DuplicateElimination")
             for index in range(len(plan.steps), 0, -1):
@@ -448,8 +479,19 @@ class CompiledQuery:
         document = plans[0].document
         if any(plan.document is not document for plan in plans):
             raise UnsupportedQueryError("shared scan requires a single document")
-        result_sets = shared_scan(ctx, document, plans)
-        by_plan = {id(plan): nids for plan, nids in zip(plans, result_sets)}
+        # refuted paths contribute constant-empty result sets and stay
+        # out of the physical scan; a query of only refuted paths never
+        # touches the store at all
+        live = [plan for plan in plans if not plan.refuted]
+        by_plan: dict[int, list[NodeID]] = {}
+        for plan in plans:
+            if plan.refuted:
+                plan._note_refuted(ctx)
+                by_plan[id(plan)] = []
+        if live:
+            result_sets = shared_scan(ctx, document, live)
+            for plan, nids in zip(live, result_sets):
+                by_plan[id(plan)] = nids
         return self.resolve_with_results(ctx, by_plan)
 
     def _number(self, node: object, ctx: EvalContext) -> float:
@@ -508,6 +550,39 @@ def compile_query(
         )
         if opts.rewrite_descendant:
             steps = _rewrite_descendant(steps)
+        postings = None
+        summary = document.pathsummary if opts.pathsummary else None
+        if summary is not None:
+            # whole-query rewrite against the path summary: refute the
+            # path outright, expand provable // steps into child chains,
+            # and derive the operators' cluster postings.  Planning-time
+            # only — no simulated time is charged
+            outcome = rewrite_path(summary, steps)
+            if tracer is not None and (outcome.refuted or outcome.expanded):
+                tracer.rewrite_event(
+                    str(path),
+                    outcome.refuted,
+                    outcome.expanded,
+                    cardinality=outcome.evaluation.cardinality,
+                )
+            if outcome.refuted:
+                # no plan choice to make: the result is a compile-time
+                # constant.  AUTO paths skip resolution entirely (no
+                # AutoChoice recorded — there is nothing to revalidate)
+                resolved = (
+                    PlanKind.XSCHEDULE if kind is PlanKind.AUTO else kind
+                )
+                kinds.append(resolved)
+                path_kind = (
+                    PlanKind.XSCAN
+                    if resolved is PlanKind.XSCAN_SHARED
+                    else resolved
+                )
+                return CompiledPathPlan(
+                    outcome.steps, path_kind, document, False, refuted=True
+                )
+            steps = outcome.steps
+            postings = outcome.postings
         resolved = kind
         if resolved is PlanKind.AUTO:
             choice, source, prediction = resolve_auto(document, steps, geo, opts, advisor)
@@ -544,7 +619,9 @@ def compile_query(
         )
         kinds.append(resolved)
         path_kind = PlanKind.XSCAN if resolved is PlanKind.XSCAN_SHARED else resolved
-        return CompiledPathPlan(steps, path_kind, document, bool(desc_root_opt))
+        return CompiledPathPlan(
+            steps, path_kind, document, bool(desc_root_opt), postings=postings
+        )
 
     def walk(node: Expr) -> object:
         if isinstance(node, NumberLiteral):

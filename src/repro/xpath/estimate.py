@@ -29,6 +29,7 @@ from repro.axes import Axis
 from repro.algebra.steps import CompiledStep, UNKNOWN_TAG
 from repro.model.tags import DOCUMENT_TAG
 from repro.sim.disk import DiskGeometry
+from repro.storage.pathsummary import PathSummary
 from repro.storage.store import DocumentStatistics, StoredDocument
 
 
@@ -41,8 +42,42 @@ class PathEstimate:
     visited_fraction: float  #: visited_nodes / document nodes
 
 
-def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathEstimate:
-    """Estimate result cardinality and nodes visited for ``steps``."""
+def estimate_path(
+    stats: DocumentStatistics,
+    steps: list[CompiledStep],
+    summary: PathSummary | None = None,
+) -> PathEstimate:
+    """Estimate result cardinality and nodes visited for ``steps``.
+
+    With a path summary, the whole-path evaluation replaces the per-tag
+    random walk outright when it is exact (downward axes, no
+    predicates): the summary's per-path counts *are* the true result
+    cardinality, and its swept-path counts the true candidates visited.
+    Even when the walk still runs (upward/sibling axes, predicates), the
+    summary changes absent-tag handling: a tag the document provably
+    does not contain contributes cardinality 0 instead of the smoothing
+    floors the statistics-only fallback needs to avoid rounding real but
+    rare tags down to nothing.
+    """
+    if summary is not None:
+        evaluation = summary.evaluate(steps)
+        if evaluation.refuted:
+            return PathEstimate(
+                result_cardinality=0.0,
+                visited_nodes=evaluation.visited,
+                visited_fraction=min(
+                    1.0, evaluation.visited / max(1, stats.n_nodes)
+                ),
+            )
+        if evaluation.exact:
+            assert evaluation.cardinality is not None
+            return PathEstimate(
+                result_cardinality=evaluation.cardinality,
+                visited_nodes=max(1.0, evaluation.visited),
+                visited_fraction=min(
+                    1.0, max(1.0, evaluation.visited) / max(1, stats.n_nodes)
+                ),
+            )
     dist: dict[int, float] = {DOCUMENT_TAG: 1.0}
     visited = 1.0
     for step in steps:
@@ -61,10 +96,17 @@ def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathE
                 weight = dist.get(source_tag)
                 if not weight:
                     continue
-                # `or 1` (not a .get default): a stored count of 0 must
-                # not divide — stale/degenerate statistics should give a
-                # crude estimate, never a ZeroDivisionError
-                total = stats.tag_counts.get(source_tag) or 1
+                total = stats.tag_counts.get(source_tag, 0)
+                if total <= 0:
+                    # a zero/absent source count with a live pair count
+                    # means degenerate statistics.  With a path summary
+                    # the document's structure is known exactly, so the
+                    # absent tag contributes nothing; the statistics-only
+                    # fallback instead clamps the divisor to 1 — a crude
+                    # estimate, never a ZeroDivisionError
+                    if summary is not None:
+                        continue
+                    total = 1
                 reached = pair_count * (weight / total)
                 if sweeping:
                     visited += reached
@@ -85,12 +127,22 @@ def estimate_path(stats: DocumentStatistics, steps: list[CompiledStep]) -> PathE
                     new[tag] = weight
         else:
             # upward / sibling steps: assume every node of an allowed tag
-            # may qualify, capped by the current frontier size
+            # may qualify, capped by the current frontier size.  With a
+            # path summary, a zero-count tag is *known* absent and gets
+            # exactly 0 (no smoothing floor); the statistics-only
+            # fallback keeps the `+ 1.0` floor so single-tag estimates
+            # do not round real but rare tags down to nothing
             frontier = sum(dist.values())
+            floor = 0.0 if summary is not None else 1.0
             for tag, count in stats.tag_counts.items():
+                if count <= 0 and summary is not None:
+                    continue
                 if _test_allows(step, tag):
-                    new[tag] = min(float(count), frontier * count / max(1, stats.n_nodes) + 1.0)
-            # the per-tag `+ 1.0` keeps single-tag estimates from
+                    new[tag] = min(
+                        float(count),
+                        frontier * count / max(1, stats.n_nodes) + floor,
+                    )
+            # the per-tag floor keeps single-tag estimates from
             # rounding to zero, but on a wide tag dictionary the sum of
             # those floors can dwarf the incoming frontier; rescale so
             # the fallback never *amplifies* cardinality
@@ -204,6 +256,7 @@ def predict_io_costs(
     use_synopsis: bool = True,
     queue_depth: int = 100,
     model: object | None = None,
+    use_pathsummary: bool = True,
 ) -> IOCostPrediction | None:
     """Predict both plan families' costs for one location path.
 
@@ -217,14 +270,29 @@ def predict_io_costs(
     occupancy instead of a uniform nodes-per-page guess, and is capped
     by the number of clusters that can actually hold a candidate for
     some step — the fix for skewed layouts where a tag concentrates in
-    a few clusters but the uniform estimate spreads it evenly.
+    a few clusters but the uniform estimate spreads it evenly.  A path
+    summary (``use_pathsummary``) tightens both terms further: the
+    cardinality estimate becomes exact for downward predicate-free
+    paths, and the visited-page cap shrinks to the clusters actually
+    posted for some step's candidate paths.
     """
     stats = document.statistics
     if stats is None:
         return None
-    estimate = estimate_path(stats, steps)
+    summary = document.pathsummary if use_pathsummary else None
+    estimate = estimate_path(stats, steps, summary=summary)
     n_pages = document.n_pages
     synopsis = document.synopsis if use_synopsis else None
+    posted_pages: float | None = None
+    if summary is not None and synopsis is not None:
+        # the operators' postings filter only engages alongside the
+        # synopsis (transit residues live in its rows), so the pricing
+        # cap mirrors that: no posted-pages cap when the synopsis is off
+        from repro.storage.pathsummary import PathPostings
+
+        evaluation = summary.evaluate(steps)
+        postings = PathPostings.for_steps(summary, steps, evaluation)
+        posted_pages = float(postings.relevant_pages())
     if synopsis is not None and synopsis.n_clusters:
         nodes_per_page = synopsis.mean_occupancy()
         visited_pages = min(
@@ -235,6 +303,8 @@ def predict_io_costs(
     else:
         nodes_per_page = max(1.0, stats.n_nodes / max(1, n_pages))
         visited_pages = min(float(n_pages), estimate.visited_nodes / nodes_per_page)
+    if posted_pages is not None:
+        visited_pages = min(visited_pages, posted_pages)
     sequential_io = n_pages * geometry.transfer_time
     random_io = visited_pages * predicted_random_unit(
         geometry, n_pages, visited_pages, queue_depth
@@ -265,6 +335,7 @@ def choose_io_operator(
     use_synopsis: bool = True,
     queue_depth: int = 100,
     model: object | None = None,
+    use_pathsummary: bool = True,
 ) -> str:
     """Return ``"xscan"`` or ``"xschedule"`` by estimated I/O cost.
 
@@ -278,6 +349,7 @@ def choose_io_operator(
         use_synopsis=use_synopsis,
         queue_depth=queue_depth,
         model=model,
+        use_pathsummary=use_pathsummary,
     )
     if prediction is None:
         return "xschedule"

@@ -188,6 +188,7 @@ def _leaf_predictions(
                 leaf.steps,
                 db.geometry,
                 use_synopsis=opts.synopsis,
+                use_pathsummary=opts.pathsummary,
                 queue_depth=opts.k_min_queue,
                 model=model,
             )

@@ -115,20 +115,113 @@ def test_empty_file(tmp_path):
 def test_v2_and_v3_round_trips_agree(saved, tmp_path, monkeypatch):
     """The v3 header adds integrity metadata only — the body bytes and
     the loaded store are the same as a v2 file's."""
-    db, path, _ = saved
+    db, _, _ = saved
     v2 = str(tmp_path / "v2.rpro")
+    v3 = str(tmp_path / "v3.rpro")
     monkeypatch.setattr(persist, "_VERSION", 2)
     save_store(db.store, v2)
+    monkeypatch.setattr(persist, "_VERSION", 3)
+    save_store(db.store, v3)
     monkeypatch.undo()
     old = load_store(v2)
-    new = load_store(path)
+    new = load_store(v3)
     assert old.segment.n_pages == new.segment.n_pages
     assert sorted(old.documents) == sorted(new.documents)
     for name in old.documents:
         check_document(old, old.document(name))
         check_document(new, new.document(name))
     # and the v3 file is the v2 body behind a 20-byte-longer header
-    assert open(path, "rb").read()[30:] == open(v2, "rb").read()[10:]
+    assert open(v3, "rb").read()[30:] == open(v2, "rb").read()[10:]
+
+
+def test_v4_body_is_v3_body_plus_path_summaries(saved, tmp_path, monkeypatch):
+    """v4 appends exactly the per-document path-summary blocks: with the
+    summaries nulled, the v4 body byte-for-byte matches v3 plus one
+    absent-marker byte per document."""
+    db, path, data = saved
+    v3 = str(tmp_path / "v3.rpro")
+    monkeypatch.setattr(persist, "_VERSION", 3)
+    save_store(db.store, v3)
+    monkeypatch.undo()
+    summaries = {
+        name: doc.pathsummary for name, doc in db.store.documents.items()
+    }
+    try:
+        for doc in db.store.documents.values():
+            doc.pathsummary = None
+        bare = str(tmp_path / "bare.rpro")
+        save_store(db.store, bare)
+    finally:
+        for name, doc in db.store.documents.items():
+            doc.pathsummary = summaries[name]
+    bare_data = open(bare, "rb").read()
+    v3_data = open(v3, "rb").read()
+    assert len(bare_data) == len(v3_data) + len(db.store.documents)
+    # a populated v4 file strictly extends the bare one
+    assert len(data) > len(bare_data)
+
+
+def test_cross_version_loads_recollect_identical_summary(
+    saved, tmp_path, monkeypatch
+):
+    """Older files load with no summary, and recollecting it from the
+    pages reproduces the fresh import's summary exactly."""
+    from repro.storage.store import recollect_pathsummary
+
+    db, path, _ = saved
+    fresh = {
+        name: doc.pathsummary for name, doc in db.store.documents.items()
+    }
+    assert all(summary is not None for summary in fresh.values())
+    for version in (2, 3):
+        old_path = str(tmp_path / f"v{version}.rpro")
+        monkeypatch.setattr(persist, "_VERSION", version)
+        save_store(db.store, old_path)
+        monkeypatch.undo()
+        old = load_store(old_path)
+        for name, doc in old.documents.items():
+            assert doc.pathsummary is None
+            assert recollect_pathsummary(old, doc) == fresh[name]
+    # and the v4 file round-trips the summary without recollection
+    loaded = load_store(path)
+    for name, doc in loaded.documents.items():
+        assert doc.pathsummary == fresh[name]
+
+
+def test_v4_path_summary_block_truncation_and_bit_rot(saved, tmp_path, monkeypatch):
+    """Sweep damage specifically through the trailing path-summary
+    blocks: with the v3 checksum monkeypatched away (header version 2
+    keeps the body parser but drops the CRC guard) every cut must still
+    surface as a typed error, and with the guard in place bit-rot in the
+    summary bytes must be caught by the checksum."""
+    db, path, data = saved
+    # locate the summary region: it is everything the bare (summary-less)
+    # image does not contain
+    summaries = {
+        name: doc.pathsummary for name, doc in db.store.documents.items()
+    }
+    try:
+        for doc in db.store.documents.values():
+            doc.pathsummary = None
+        bare = str(tmp_path / "bare.rpro")
+        save_store(db.store, bare)
+    finally:
+        for name, doc in db.store.documents.items():
+            doc.pathsummary = summaries[name]
+    summary_bytes = len(data) - len(open(bare, "rb").read())
+    assert summary_bytes > 0
+    target = str(tmp_path / "cut4.rpro")
+    for cut in range(len(data) - 1, len(data) - summary_bytes, -1):
+        open(target, "wb").write(data[:cut])
+        with pytest.raises((StoreCorruptError, StorageError)):
+            load_store(target)
+    # bit-rot anywhere in the summary region trips the body checksum
+    for offset in range(len(data) - summary_bytes // 2, len(data), 7):
+        corrupt = bytearray(data)
+        corrupt[offset] ^= 0x40
+        open(target, "wb").write(bytes(corrupt))
+        with pytest.raises(StoreCorruptError):
+            load_store(target)
 
 
 def test_checkpoint_lsn_round_trips(saved, tmp_path):

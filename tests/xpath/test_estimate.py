@@ -222,3 +222,89 @@ def test_synopsis_occupancy_fixes_skewed_layout_choice():
     # AUTO follows the synopsis and lands on the cheap plan
     auto = db.execute("/root/h/y", doc="d", plan="auto")
     assert [kind.value for kind in auto.plan_kinds] == ["xschedule"]
+
+
+# ------------------------------------------- absent-tag handling (path summary)
+
+
+def _degenerate_stats_and_summary():
+    """Hand-built statistics whose pair table references a source tag the
+    ``tag_counts`` dict has no entry for, plus a matching path summary.
+
+    Tag ids: 5 = ``a`` (the root element), 6 = ``b`` (its children).
+    The summary knows the true structure; the statistics are degenerate
+    on purpose — the document tag is missing from ``tag_counts``.
+    """
+    from repro.model.tags import DOCUMENT_TAG
+    from repro.storage.pathsummary import PathSummary
+    from repro.storage.store import DocumentStatistics
+
+    stats = DocumentStatistics(
+        n_nodes=4,
+        n_elements=3,
+        tag_counts={5: 1, 6: 2},  # no DOCUMENT_TAG entry
+        child_pairs={(DOCUMENT_TAG, 5): 1, (5, 6): 2},
+        desc_pairs={(DOCUMENT_TAG, 5): 1, (DOCUMENT_TAG, 6): 2, (5, 6): 2},
+    )
+    summary = PathSummary.from_page_rows(
+        {0: {((DOCUMENT_TAG,), 0): 1, ((DOCUMENT_TAG, 5), 1): 1, ((DOCUMENT_TAG, 5, 6), 1): 2}}
+    )
+    return stats, summary
+
+
+def _raw_step(axis, tag=None, kind="name"):
+    test_kind = "name" if tag is not None else kind
+    return CompiledStep(axis, CompiledNodeTest.compile(test_kind, axis, tag))
+
+
+def test_absent_source_tag_contributes_zero_with_summary():
+    """Regression (pair-walk site): a live pair count whose source tag is
+    absent from ``tag_counts`` used to clamp the divisor to 1 and invent
+    cardinality.  With a path summary the absent tag is *known* absent
+    and contributes nothing; the statistics-only fallback keeps the
+    clamp (a crude guess beats a ZeroDivisionError)."""
+    stats, summary = _degenerate_stats_and_summary()
+    # the trailing parent step keeps the evaluation inexact, so the
+    # estimator walk really runs instead of short-circuiting
+    steps = [_raw_step(Axis.CHILD, 5), _raw_step(Axis.PARENT, kind="node")]
+    without = estimate_path(stats, steps)
+    assert without.result_cardinality > 0.0  # clamped divisor, not a crash
+    with_summary = estimate_path(stats, steps, summary=summary)
+    assert with_summary.result_cardinality == 0.0
+
+
+def test_upward_fallback_floor_only_without_summary():
+    """Regression (upward-fallback site): the per-tag ``+ 1.0`` smoothing
+    floor exists to keep rare tags from rounding to zero when only the
+    statistics are available; with a path summary the floor disappears
+    and the fallback scales with the true frontier."""
+    from repro.model.tags import DOCUMENT_TAG
+    from repro.storage.pathsummary import PathSummary
+    from repro.storage.store import DocumentStatistics
+
+    stats = DocumentStatistics(
+        n_nodes=1000,
+        n_elements=999,
+        tag_counts={DOCUMENT_TAG: 1, 5: 1, 7: 1, 8: 997},
+        child_pairs={(DOCUMENT_TAG, 5): 1, (5, 7): 1, (5, 8): 997},
+        desc_pairs={(DOCUMENT_TAG, 5): 1, (DOCUMENT_TAG, 7): 1, (DOCUMENT_TAG, 8): 997,
+                    (5, 7): 1, (5, 8): 997},
+    )
+    summary = PathSummary.from_page_rows(
+        {0: {((DOCUMENT_TAG,), 0): 1, ((DOCUMENT_TAG, 5), 1): 1,
+             ((DOCUMENT_TAG, 5, 7), 1): 1, ((DOCUMENT_TAG, 5, 8), 1): 997}}
+    )
+    steps = [_raw_step(Axis.CHILD, 5), _raw_step(Axis.CHILD, 7), _raw_step(Axis.PARENT, 5)]
+    without = estimate_path(stats, steps)
+    assert without.result_cardinality == pytest.approx(1.0)  # smoothing floor
+    with_summary = estimate_path(stats, steps, summary=summary)
+    assert with_summary.result_cardinality == pytest.approx(1.0 / 1000.0)
+
+
+def test_summary_short_circuits_exact_and_refuted_paths():
+    stats, summary = _degenerate_stats_and_summary()
+    exact = estimate_path(stats, [_raw_step(Axis.CHILD, 5), _raw_step(Axis.CHILD, 6)],
+                          summary=summary)
+    assert exact.result_cardinality == pytest.approx(2.0)
+    refuted = estimate_path(stats, [_raw_step(Axis.CHILD, 99)], summary=summary)
+    assert refuted.result_cardinality == 0.0

@@ -83,8 +83,15 @@ def test_calibrated_pass_never_regresses(db):
     assert calibrated.win_rate >= baseline.win_rate
     assert calibrated.total_regret <= baseline.total_regret + 1e-12
     for decision in calibrated.decisions:
-        assert decision.choices[0][1] == "measured"
         assert decision.win
+        if decision.query == "/a/b":
+            # the path summary refutes this path outright (the document's
+            # root element is not ``a``): no chooser decision is recorded
+            # and every family short-circuits to the empty result
+            assert decision.choices == []
+            assert decision.auto_total == 0.0
+        else:
+            assert decision.choices[0][1] == "measured"
 
 
 def test_seek_audit_row(db):
