@@ -238,6 +238,7 @@ class EvalContext:
         "options",
         "tags",
         "tracer",
+        "san",
         "current_frame",
         "fallback",
         "degradation_events",
@@ -280,6 +281,11 @@ class EvalContext:
         #: instrumentation site guards on ``is not None`` (the same
         #: zero-overhead discipline as the budget check in charge_call)
         self.tracer = tracer
+        #: optional charge sanitizer (:mod:`repro.analysis.sanitize`),
+        #: installed by the environment when ``REPRO_SAN`` requests it
+        #: and checked at every operator yield; ``None`` keeps the hook
+        #: on its single-``is None``-test fast path
+        self.san = None
         #: The cluster currently being processed; maintained (pinned) by
         #: the plan's I/O-performing operator.  All swizzled slot
         #: references in flight between XStep operators point into it.
@@ -321,8 +327,8 @@ class EvalContext:
         clock.now += cost
         clock.cpu_time += cost
         self.stats.intra_hops += 1
-        if self.tracer is not None:
-            self.tracer.count("intra_hops")
+        if (tracer := self.tracer) is not None:
+            tracer.count("intra_hops")
 
     def charge_test(self) -> None:
         """One node-test evaluation."""
@@ -331,8 +337,8 @@ class EvalContext:
         clock.now += cost
         clock.cpu_time += cost
         self.stats.node_tests += 1
-        if self.tracer is not None:
-            self.tracer.count("node_tests")
+        if (tracer := self.tracer) is not None:
+            tracer.count("node_tests")
 
     def charge_instance(self) -> None:
         """Creation/copy of one path-instance tuple."""
@@ -341,8 +347,8 @@ class EvalContext:
         clock.now += cost
         clock.cpu_time += cost
         self.stats.instances_created += 1
-        if self.tracer is not None:
-            self.tracer.count("instances_created")
+        if (tracer := self.tracer) is not None:
+            tracer.count("instances_created")
 
     def charge_set_op(self) -> None:
         """One R/S/duplicate-hash operation."""
@@ -438,8 +444,8 @@ class EvalContext:
         self.degradation_events.append(
             DegradationEvent(reason=reason, sim_time=self.clock.now, page=page, detail=detail)
         )
-        if self.tracer is not None:
-            self.tracer.event(
+        if (tracer := self.tracer) is not None:
+            tracer.event(
                 self.clock.now,
                 "degradation",
                 reason,
@@ -469,8 +475,8 @@ class EvalContext:
             return
         self.fallback = True
         self.stats.fallbacks += 1
-        if self.tracer is not None:
-            self.tracer.count("fallbacks")
+        if (tracer := self.tracer) is not None:
+            tracer.count("fallbacks")
         self.note_degradation(reason, page=page, detail=detail or "fell back to Simple-method evaluation")
         for hook in list(self.fallback_hooks):
             hook()

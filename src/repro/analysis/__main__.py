@@ -48,6 +48,11 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore [tool.replint] in pyproject.toml; use built-in defaults",
     )
+    parser.add_argument(
+        "--warn-unused-suppressions",
+        action="store_true",
+        help="report `# replint: disable` comments that silenced nothing",
+    )
     return parser
 
 
@@ -81,7 +86,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     config = ReplintConfig() if args.no_config else load_config(paths[0].resolve())
     try:
-        findings = lint_paths(paths, config=config, rules=rules)
+        findings = lint_paths(
+            paths,
+            config=config,
+            rules=rules,
+            warn_unused_suppressions=args.warn_unused_suppressions,
+        )
     except SyntaxError as error:
         print(f"parse error: {error}", file=sys.stderr)
         return 2

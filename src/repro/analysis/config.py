@@ -58,6 +58,23 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     "feature-gate": ("sim/", "algebra/", "storage/"),
     # dedup sets must not leak their iteration order into results
     "set-iteration": ("algebra/", "sim/", "storage/"),
+    # interprocedural: I/O paths charge Stats/clock exactly once
+    "charge-accounting": ("sim/", "storage/", "algebra/"),
+    # interprocedural: possibly-None feature slots never cross into
+    # helpers that require them non-None (findings anchor at call sites)
+    "gate-coherence": ("sim/", "storage/", "algebra/", "exec/", "xpath/", "engine.py"),
+    # interprocedural: unordered iteration order can't flow through calls
+    "determinism-taint": ("sim/", "algebra/", "storage/", "xmark/"),
+    # interprocedural: Stats fields / tracer mirrors / rollups reconcile
+    "summary-drift": (
+        "sim/",
+        "algebra/",
+        "storage/",
+        "exec/",
+        "xpath/",
+        "obs/",
+        "engine.py",
+    ),
 }
 
 

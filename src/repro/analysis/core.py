@@ -17,6 +17,10 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:
     from repro.analysis.config import ReplintConfig
+    from repro.analysis.project import ProjectIndex
+
+#: rule id under which stale suppression comments are reported
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,28 +50,63 @@ _SUPPRESS_RE = re.compile(r"#\s*replint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9
 
 
 class Suppressions:
-    """Parsed ``# replint: disable[-file]=...`` comments of one file."""
+    """Parsed ``# replint: disable[-file]=...`` comments of one file.
 
-    __slots__ = ("_by_line", "_file_wide")
+    Each declaration remembers whether it ever silenced a finding, so a
+    run can report the stale ones (``--warn-unused-suppressions``): a
+    disable comment that matches nothing is no longer documenting an
+    exception — it is hiding the next regression.
+    """
+
+    __slots__ = ("_by_line", "_file_wide", "_used")
 
     def __init__(self, text: str) -> None:
         self._by_line: dict[int, set[str]] = {}
-        self._file_wide: set[str] = set()
+        #: file-wide rule -> line of the declaring comment
+        self._file_wide: dict[str, int] = {}
+        #: (declaration line, rule) pairs that silenced at least one finding
+        self._used: set[tuple[int, str]] = set()
         for lineno, line in enumerate(text.splitlines(), start=1):
             match = _SUPPRESS_RE.search(line)
             if match is None:
                 continue
             rules = {part.strip() for part in match.group(2).split(",") if part.strip()}
             if match.group(1) == "disable-file":
-                self._file_wide |= rules
+                for rule in rules:
+                    self._file_wide.setdefault(rule, lineno)
             else:
                 self._by_line.setdefault(lineno, set()).update(rules)
 
     def active(self, rule: str, line: int) -> bool:
-        if rule in self._file_wide or "all" in self._file_wide:
-            return True
+        for name in (rule, "all"):
+            declared_at = self._file_wide.get(name)
+            if declared_at is not None:
+                self._used.add((declared_at, name))
+                return True
         on_line = self._by_line.get(line)
-        return on_line is not None and (rule in on_line or "all" in on_line)
+        if on_line is None:
+            return False
+        for name in (rule, "all"):
+            if name in on_line:
+                self._used.add((line, name))
+                return True
+        return False
+
+    def declared(self) -> list[tuple[int, str, bool]]:
+        """Every declaration as ``(line, rule, file_wide)``, in line order."""
+        entries = [(line, rule, True) for rule, line in self._file_wide.items()]
+        entries.extend(
+            (line, rule, False)
+            for line, rules in self._by_line.items()
+            for rule in rules
+        )
+        return sorted(entries)
+
+    def unused(self) -> list[tuple[int, str, bool]]:
+        """Declarations that silenced nothing during the runs so far."""
+        return [
+            entry for entry in self.declared() if (entry[0], entry[1]) not in self._used
+        ]
 
 
 class SourceFile:
@@ -98,6 +137,24 @@ class Rule:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Finding(self.id, str(src.path), int(line), int(col) + 1, message)
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole linted tree at once.
+
+    Project rules run after the per-file rules, over a
+    :class:`~repro.analysis.project.ProjectIndex` of every linted file;
+    their findings still anchor to one file/line each, so scopes and
+    suppressions apply exactly as for per-file rules.
+    """
+
+    def check(self, src: SourceFile, config: "ReplintConfig") -> list[Finding]:
+        return []  # project rules only run via check_project
+
+    def check_project(
+        self, index: "ProjectIndex", config: "ReplintConfig"
+    ) -> list[Finding]:
+        raise NotImplementedError
 
 
 def scope_relpath(path: Path, root: Path) -> str:
@@ -153,14 +210,61 @@ def lint_paths(
     paths: Iterable[Path | str],
     config: "ReplintConfig" | None = None,
     rules: Iterable[Rule] | None = None,
+    warn_unused_suppressions: bool = False,
 ) -> list[Finding]:
-    """Lint every python file under ``paths`` with every (or the given) rule."""
+    """Lint every python file under ``paths`` with every (or the given) rule.
+
+    Per-file rules run file by file; :class:`ProjectRule` instances run
+    once over a :class:`~repro.analysis.project.ProjectIndex` of the
+    whole tree.  With ``warn_unused_suppressions``, every suppression
+    comment that silenced nothing (for a rule this run actually ran) is
+    reported under the ``unused-suppression`` pseudo-rule.
+    """
     from repro.analysis.config import ReplintConfig
     from repro.analysis.rules import all_rules
 
     cfg = config if config is not None else ReplintConfig()
     active = list(rules) if rules is not None else all_rules()
+    file_rules = [rule for rule in active if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
+    sources = [
+        load_source(file, root) for file, root in iter_python_files(Path(p) for p in paths)
+    ]
     findings: list[Finding] = []
-    for file, root in iter_python_files(Path(p) for p in paths):
-        findings.extend(lint_source(load_source(file, root), active, cfg))
+    for src in sources:
+        findings.extend(lint_source(src, file_rules, cfg))
+    if project_rules:
+        from repro.analysis.project import ProjectIndex
+
+        index = ProjectIndex.build(sources, cfg)
+        by_path = {str(src.path): src for src in sources}
+        for rule in project_rules:
+            for finding in rule.check_project(index, cfg):
+                src = by_path.get(finding.path)
+                if src is None:
+                    continue
+                if not cfg.in_scope(finding.rule, src.relpath):
+                    continue
+                if src.suppressions.active(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
+    if warn_unused_suppressions:
+        run_ids = {rule.id for rule in active}
+        for src in sources:
+            for line, rule_id, file_wide in src.suppressions.unused():
+                if rule_id != "all" and rule_id not in run_ids:
+                    continue  # the suppressed rule did not run; no verdict
+                form = "disable-file" if file_wide else "disable"
+                findings.append(
+                    Finding(
+                        UNUSED_SUPPRESSION_RULE,
+                        str(src.path),
+                        line,
+                        1,
+                        f"suppression `# replint: {form}={rule_id}` silenced "
+                        "nothing in this run; remove it so it cannot hide a "
+                        "future regression",
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

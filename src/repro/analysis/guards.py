@@ -19,6 +19,12 @@ set of guard shapes::
 
     x = feature.f() if feature is not None else None   # conditional expr
 
+    if (t := self.tracer) is not None:   # walrus guard: proves t AND
+        t.count(...)                     # self.tracer in the body
+
+    while (frame := buffer.victim()) is not None:      # while-condition
+        frame.page ...                   # guard holds for the loop body
+
 This module recognises exactly those shapes.  It is deliberately not a
 general data-flow analysis: a use the engine's idiom cannot prove
 guarded should be rewritten into one of the blessed shapes (or
@@ -51,6 +57,26 @@ def terminal_name(node: ast.AST) -> str | None:
     return None
 
 
+def guard_keys(node: ast.expr) -> set[str]:
+    """Every key a guard on ``node`` proves at once.
+
+    A plain name or attribute proves itself; a walrus binding
+    ``(t := self.tracer)`` proves both the freshly bound name and the
+    source expression (they hold the same object at the test).
+    """
+    keys: set[str] = set()
+    if isinstance(node, ast.NamedExpr):
+        target_key = expr_key(node.target)
+        if target_key is not None:
+            keys.add(target_key)
+        keys |= guard_keys(node.value)
+    else:
+        key = expr_key(node)
+        if key is not None:
+            keys.add(key)
+    return keys
+
+
 def nonnull_when_true(test: ast.expr) -> set[str]:
     """Keys proven non-None when ``test`` evaluates truthy."""
     keys: set[str] = set()
@@ -60,14 +86,10 @@ def nonnull_when_true(test: ast.expr) -> set[str]:
             and test.comparators[0].value is None
         )
         if is_none_literal and isinstance(test.ops[0], ast.IsNot):
-            key = expr_key(test.left)
-            if key is not None:
-                keys.add(key)
-    elif isinstance(test, (ast.Name, ast.Attribute)):
-        # `if tracer:` — truthiness implies non-None
-        key = expr_key(test)
-        if key is not None:
-            keys.add(key)
+            keys |= guard_keys(test.left)
+    elif isinstance(test, (ast.Name, ast.Attribute, ast.NamedExpr)):
+        # `if tracer:` / `if (t := self.tracer):` — truthiness implies non-None
+        keys |= guard_keys(test)
     elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
         for value in test.values:
             keys |= nonnull_when_true(value)
@@ -85,9 +107,7 @@ def nonnull_when_false(test: ast.expr) -> set[str]:
             and test.comparators[0].value is None
         )
         if is_none_literal and isinstance(test.ops[0], ast.Is):
-            key = expr_key(test.left)
-            if key is not None:
-                keys.add(key)
+            keys |= guard_keys(test.left)
     elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
         for value in test.values:
             keys |= nonnull_when_false(value)
@@ -252,6 +272,10 @@ def tracked_feature_names(
         if isinstance(node, ast.Assign):
             targets, value = node.targets, node.value
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.NamedExpr):
+            # walrus binding: `(tracer := self.tracer)` rebinds a local
+            # from the optional slot exactly like a plain assignment
             targets, value = [node.target], node.value
         if value is None:
             continue

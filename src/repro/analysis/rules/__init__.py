@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.charge_accounting import ChargeAccountingRule
+from repro.analysis.rules.determinism_taint import DeterminismTaintRule
 from repro.analysis.rules.feature_gate import FeatureGateRule
+from repro.analysis.rules.gate_coherence import GateCoherenceRule
 from repro.analysis.rules.nondeterminism import NondeterminismRule
 from repro.analysis.rules.runtime_assert import RuntimeAssertRule
 from repro.analysis.rules.set_iteration import SetIterationRule
 from repro.analysis.rules.slots import SlotsRule
+from repro.analysis.rules.summary_drift import SummaryDriftRule
 from repro.analysis.rules.tracer_mirror import TracerMirrorRule
 
 _RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -17,6 +21,11 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     SlotsRule,
     FeatureGateRule,
     SetIterationRule,
+    # interprocedural rules (run once over the whole-tree ProjectIndex)
+    ChargeAccountingRule,
+    GateCoherenceRule,
+    DeterminismTaintRule,
+    SummaryDriftRule,
 )
 
 

@@ -1,0 +1,115 @@
+"""Rule ``determinism-taint``: unordered order can't leak through helpers.
+
+The per-file ``set-iteration`` rule flags direct iteration over known
+sets.  Taint that *crosses a call* is invisible to it: a helper that
+returns a set (``def _dirty_pages(self) -> set[int]: ... return dirty``)
+iterated at the call site (``for page in self._dirty_pages():``) puts
+hash-table order on the wire just the same — into result order,
+degradation reports, or simulated timings.
+
+Two interprocedural checks:
+
+* iterating (``for``/comprehension/``list()``/``tuple()``) the return
+  value of an indexed function whose summary says it returns an
+  unordered set — directly or through a local bound from such a call —
+  requires ``sorted(...)``;
+* ``id(...)`` anywhere in the deterministic core: CPython object ids
+  vary run to run, so keying, comparing or emitting them breaks replay
+  determinism even when the surrounding structure looks ordered.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import ReplintConfig
+from repro.analysis.core import Finding, ProjectRule
+from repro.analysis.project import ProjectIndex
+
+_MATERIALISERS = frozenset({"list", "tuple"})
+
+
+class DeterminismTaintRule(ProjectRule):
+    id = "determinism-taint"
+    description = (
+        "unordered-set iteration order cannot flow into results or timings "
+        "through helper calls"
+    )
+
+    def check_project(
+        self, index: ProjectIndex, config: ReplintConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            tainted_calls: dict[int, str] = {}  # id(call node) -> callee
+            for site in info.calls:
+                if site.callee is None:
+                    continue
+                callee = index.functions.get(site.callee)
+                if callee is not None and callee.returns_unordered:
+                    tainted_calls[id(site.node)] = site.callee
+            self._check_id_calls(info, findings)
+            if not tainted_calls:
+                continue
+            # locals bound from a tainted call inherit the taint
+            tainted_locals: dict[str, str] = {}
+            for sub in ast.walk(info.node):
+                if isinstance(sub, ast.Assign) and id(sub.value) in tainted_calls:
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            tainted_locals[target.id] = tainted_calls[id(sub.value)]
+            for sub in ast.walk(info.node):
+                iters: list[ast.expr] = []
+                if isinstance(sub, (ast.For, ast.AsyncFor)):
+                    iters.append(sub.iter)
+                elif isinstance(
+                    sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in sub.generators)
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id in _MATERIALISERS
+                    and len(sub.args) == 1
+                ):
+                    iters.append(sub.args[0])
+                for candidate in iters:
+                    source: str | None = None
+                    if id(candidate) in tainted_calls:
+                        source = tainted_calls[id(candidate)]
+                    elif (
+                        isinstance(candidate, ast.Name)
+                        and candidate.id in tainted_locals
+                    ):
+                        source = tainted_locals[candidate.id]
+                    if source is not None:
+                        findings.append(
+                            self.finding(
+                                info.src,
+                                candidate,
+                                f"iterates the unordered set returned by "
+                                f"{source.split('::')[1]!r}; hash order would "
+                                "leak into results/timings — iterate "
+                                "sorted(...) instead",
+                            )
+                        )
+        return findings
+
+    def _check_id_calls(self, info, findings: list[Finding]) -> None:
+        for sub in ast.walk(info.node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"
+                and len(sub.args) == 1
+            ):
+                findings.append(
+                    self.finding(
+                        info.src,
+                        sub,
+                        "id() values vary across interpreter runs; keying or "
+                        "comparing them in the deterministic core breaks "
+                        "replay determinism",
+                    )
+                )

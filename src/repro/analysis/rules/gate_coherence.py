@@ -1,0 +1,119 @@
+"""Rule ``gate-coherence``: feature-gated state stays gated across calls.
+
+The per-file ``feature-gate`` rule proves every *local* dereference of
+an optional feature slot sits behind an ``is not None`` guard.  The gap
+it cannot see: a helper that declares the feature parameter
+*non-optional* (``def _emit(self, tracer: Tracer)``) and dereferences it
+freely — perfectly fine locally — called with a possibly-``None``
+feature expression (``self._emit(self.tracer)``).  The ``None`` then
+explodes (or the gate silently stops gating) one call level down, on
+exactly the path the ablation benchmarks promise is free.
+
+This rule walks every resolved call edge in the project: wherever an
+argument bound to a non-optional feature parameter is itself an optional
+feature expression (an attribute chain ending in a feature slot, or a
+local the guard analysis tracks as optional), the *call site* must sit
+inside a guard for that expression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import ReplintConfig
+from repro.analysis.core import Finding, ProjectRule
+from repro.analysis.guards import (
+    GuardIndex,
+    expr_key,
+    terminal_name,
+    tracked_feature_names,
+)
+from repro.analysis.project import FunctionInfo, ProjectIndex
+
+
+class GateCoherenceRule(ProjectRule):
+    id = "gate-coherence"
+    description = (
+        "possibly-None feature slots are never passed into helpers that require "
+        "them non-None"
+    )
+
+    def check_project(
+        self, index: ProjectIndex, config: ReplintConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for qualname in sorted(index.functions):
+            caller = index.functions[qualname]
+            sites = [
+                site
+                for site in caller.calls
+                if site.callee is not None
+                and (callee := index.functions.get(site.callee)) is not None
+                and callee.feature_params_required
+            ]
+            if not sites:
+                continue
+            guards: GuardIndex | None = None
+            tracked = tracked_feature_names(caller.node, config.feature_names)
+            for site in sites:
+                callee = index.functions[site.callee or ""]
+                for param, arg in _bind_arguments(site.node, callee):
+                    if param not in callee.feature_params_required:
+                        continue
+                    key = _optional_feature_key(arg, config, caller, tracked)
+                    if key is None:
+                        continue
+                    if guards is None:
+                        guards = GuardIndex(caller.node)
+                    if guards.is_guarded(site.node, key):
+                        continue
+                    findings.append(
+                        self.finding(
+                            caller.src,
+                            site.node,
+                            f"passes possibly-None {key!r} into "
+                            f"{site.text}(), whose parameter {param!r} is "
+                            "dereferenced unguarded; guard the call or make "
+                            "the parameter optional",
+                        )
+                    )
+        return findings
+
+
+def _bind_arguments(
+    call: ast.Call, callee: FunctionInfo
+) -> list[tuple[str, ast.expr]]:
+    """Map the call's arguments onto the callee's parameter names."""
+    args = callee.node.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    if callee.cls is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    bound: list[tuple[str, ast.expr]] = []
+    for name, value in zip(names, call.args):
+        bound.append((name, value))
+    keyword_names = set(names) | {a.arg for a in args.kwonlyargs}
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in keyword_names:
+            bound.append((keyword.arg, keyword.value))
+    return bound
+
+
+def _optional_feature_key(
+    arg: ast.expr,
+    config: ReplintConfig,
+    caller: FunctionInfo,
+    tracked: set[str] | None,
+) -> str | None:
+    """The guard key when ``arg`` is a possibly-None feature expression."""
+    name = terminal_name(arg)
+    if name is None or name not in config.feature_names:
+        return None
+    key = expr_key(arg)
+    if key is None:
+        return None
+    if isinstance(arg, ast.Name):
+        # a bare local: optional only when the guard analysis tracks it
+        # (bound from a slot / None); constructor-bound locals are fine
+        if tracked is None or name not in tracked:
+            return None
+    return key

@@ -1,0 +1,104 @@
+"""Rule ``summary-drift``: Stats, tracer mirrors and rollups stay in sync.
+
+The reconciliation contract is cross-module: ``Stats`` declares the
+counters, charge sites all over the engine increment them, tracer
+mirrors echo each increment, and
+:meth:`repro.obs.metrics.TraceSummary.reconcile` asserts the two ledgers
+agree.  The per-file ``tracer-mirror`` rule checks each increment in
+isolation; this project rule reconciles the *sets* across modules:
+
+* every ``tracer.count("<name>")`` literal must name a real ``Stats``
+  field — a typo'd mirror inflates a counter reconcile never checks;
+* every field charged anywhere must be mirrored somewhere — a field
+  charged only in a module outside ``tracer-mirror``'s scope would
+  otherwise drift silently;
+* every ``Stats`` field must be charged somewhere in the linted tree —
+  a counter nothing increments is dead weight the summaries still
+  faithfully report as zero (usually a refactor left it behind).
+
+The dead-field check only fires when the linted tree actually contains
+charge sites (linting a lone file must not declare every field dead).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import ReplintConfig
+from repro.analysis.core import Finding, ProjectRule
+from repro.analysis.project import ProjectIndex
+
+
+class SummaryDriftRule(ProjectRule):
+    id = "summary-drift"
+    description = (
+        "Stats fields, tracer mirrors and TraceSummary rollups reconcile "
+        "across modules"
+    )
+
+    def check_project(
+        self, index: ProjectIndex, config: ReplintConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        charged: dict[str, tuple] = {}  # field -> (info, first charge node)
+        mirrored: set[str] = set()
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            for field_name, nodes in info.charges.items():
+                charged.setdefault(field_name, (info, nodes[0]))
+            for mirror_name, calls in info.mirrors.items():
+                mirrored.add(mirror_name)
+                if mirror_name not in config.stats_fields:
+                    for call in calls:
+                        findings.append(
+                            self.finding(
+                                info.src,
+                                call,
+                                f"tracer.count({mirror_name!r}) names no Stats "
+                                "field; the mirrored counter can never "
+                                "reconcile",
+                            )
+                        )
+        for field_name in sorted(set(charged) - mirrored):
+            info, node = charged[field_name]
+            findings.append(
+                self.finding(
+                    info.src,
+                    node,
+                    f"stats.{field_name} is charged but mirrored nowhere in "
+                    "the project; traced runs will fail reconciliation",
+                )
+            )
+        if charged:
+            findings.extend(self._dead_fields(index, config, set(charged)))
+        return findings
+
+    def _dead_fields(
+        self, index: ProjectIndex, config: ReplintConfig, charged: set[str]
+    ) -> list[Finding]:
+        stats_src = next(
+            (src for src in index.sources if src.relpath == "sim/stats.py"), None
+        )
+        if stats_src is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(stats_src.tree):
+            if not isinstance(node, ast.ClassDef) or node.name != "Stats":
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)
+                    and item.target.id in config.stats_fields
+                    and item.target.id not in charged
+                ):
+                    findings.append(
+                        self.finding(
+                            stats_src,
+                            item,
+                            f"Stats.{item.target.id} is never charged anywhere "
+                            "in the linted tree; remove the dead counter or "
+                            "restore its charge site",
+                        )
+                    )
+        return findings

@@ -18,6 +18,7 @@ cold caches, Sec. 6.1).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.algebra.context import DegradationReport, EvalContext, EvalOptions
@@ -255,12 +256,31 @@ class Database:
         mark = ctx.clock.checkpoint()
         tracer = ctx.tracer
         trace_mark = tracer.mark() if tracer is not None else None
+        events_start = tracer.events_recorded if tracer is not None else 0
         value, nodes = compiled.execute(ctx)
         # a "partial" budget records its cut as a degradation event and
         # returns normally; a "raise" budget propagates out of execute()
         partial = any(
             e.reason == "budget" for e in ctx.degradation_events[events_mark:]
         )
+        if context is None and os.environ.get("REPRO_SAN"):
+            from repro.analysis import sanitize
+
+            if "determinism" in sanitize.modes():
+                # cold run: the context's totals are the run's totals
+                from repro.analysis.sanitize.determinism import recheck
+
+                recheck(
+                    self.env,
+                    compiled,
+                    options,
+                    value,
+                    nodes,
+                    ctx.stats,
+                    (ctx.clock.now, ctx.clock.cpu_time, ctx.clock.io_wait),
+                    tracer,
+                    events_start,
+                )
         return Result.from_context(
             ctx,
             mark,
@@ -271,7 +291,9 @@ class Database:
             nodes=nodes,
             degradation=ctx.report_since(events_mark, partial=partial),
             trace_summary=(
-                tracer.summary(since=trace_mark) if tracer is not None else None
+                tracer.summary(since=trace_mark)
+                if tracer is not None and not tracer.shadow
+                else None
             ),
         )
 
@@ -481,7 +503,9 @@ class Database:
             doc=doc,
             plan_kinds=[],
             trace_summary=(
-                tracer.summary(since=trace_mark) if tracer is not None else None
+                tracer.summary(since=trace_mark)
+                if tracer is not None and not tracer.shadow
+                else None
             ),
         )
         return text, result

@@ -344,7 +344,11 @@ def run_batch(
     # ---- per-request results with shared-I/O attribution
     batch_stats = shared.stats.diff(before)
     total, cpu, io_wait = shared.clock.since(mark)
-    batch_summary = tracer.summary(since=trace_mark) if tracer is not None else None
+    batch_summary = (
+        tracer.summary(since=trace_mark)
+        if tracer is not None and not tracer.shadow
+        else None
+    )
     results: list[Result] = []
     for position in range(n):
         value, nodes, checkpoint, degradation = outcomes[position]

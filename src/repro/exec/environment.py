@@ -25,6 +25,8 @@ layered on top by :class:`repro.exec.session.QuerySession`.
 
 from __future__ import annotations
 
+import os
+
 from repro.algebra.context import EvalContext, EvalOptions
 from repro.errors import ReproError
 from repro.model.tags import TagDictionary
@@ -87,16 +89,53 @@ class ExecutionEnvironment:
     # ------------------------------------------------------------- contexts
 
     def fresh_context(self, options: EvalOptions | None = None) -> EvalContext:
-        """A cold runtime: new clock, parked disk head, empty buffer."""
+        """A cold runtime: new clock, parked disk head, empty buffer.
+
+        When ``REPRO_SAN`` requests runtime sanitizers
+        (:mod:`repro.analysis.sanitize`), they are installed here — with
+        a *shadow* tracer when the environment has none, so the charge
+        sanitizer's mirror counters have somewhere to land without
+        surfacing in results.  The variable is consulted only when set,
+        keeping the ordinary path free of sanitizer work.
+        """
         opts = options or self.options
+        tracer = self.tracer
+        active: frozenset[str] = frozenset()
+        if os.environ.get("REPRO_SAN"):
+            from repro.analysis import sanitize
+
+            active = sanitize.modes()
+            if "charge" in active and tracer is None:
+                from repro.obs.tracer import Tracer
+
+                tracer = Tracer(shadow=True)
+        ctx = self._build_context(opts, tracer)
+        self.contexts_built += 1
+        if active:
+            from repro.analysis import sanitize
+
+            sanitize.install(ctx, active)
+        return ctx
+
+    def shadow_context(
+        self, options: EvalOptions | None = None, tracer=None
+    ) -> EvalContext:
+        """Sanitizer-internal: the same cold wiring as ``fresh_context``,
+        but uncounted (``contexts_built`` is unperturbed), sanitizer-free
+        (no recursion), and traced by the caller's private ``tracer``
+        instead of the environment's.  Used by the determinism sanitizer
+        for its re-execution."""
+        return self._build_context(options or self.options, tracer)
+
+    def _build_context(self, opts: EvalOptions, tracer) -> EvalContext:
         stats = Stats()
         clock = SimClock()
         plan = FaultPlan(self.faults) if self.faults is not None else None
         disk = DiskDevice(
-            self.geometry, self.disk_policy, stats, faults=plan, tracer=self.tracer
+            self.geometry, self.disk_policy, stats, faults=plan, tracer=tracer
         )
         iosys = AsyncIOSystem(
-            disk, clock, self.costs, stats, retry=opts.retry, tracer=self.tracer
+            disk, clock, self.costs, stats, retry=opts.retry, tracer=tracer
         )
         buffer = BufferManager(
             self.segment,
@@ -105,9 +144,8 @@ class ExecutionEnvironment:
             self.costs,
             self.buffer_pages,
             stats,
-            tracer=self.tracer,
+            tracer=tracer,
         )
-        self.contexts_built += 1
         return EvalContext(
             self.segment,
             buffer,
@@ -117,7 +155,7 @@ class ExecutionEnvironment:
             stats,
             opts,
             tags=self.tags,
-            tracer=self.tracer,
+            tracer=tracer,
         )
 
     def view(
@@ -130,7 +168,7 @@ class ExecutionEnvironment:
         reads can satisfy another's, and the controller queue sees every
         query's pending requests at once.
         """
-        return EvalContext(
+        ctx = EvalContext(
             shared.segment,
             shared.buffer,
             shared.iosys,
@@ -141,3 +179,7 @@ class ExecutionEnvironment:
             tags=shared.tags,
             tracer=shared.tracer,
         )
+        # the charge sanitizer audits the *shared* stats/clock/tracer, so
+        # views participate in the same shadow books
+        ctx.san = shared.san
+        return ctx

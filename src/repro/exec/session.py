@@ -204,7 +204,9 @@ class QuerySession:
             stats=ctx.stats.diff(before),
             degradation=ctx.report_since(events_mark, partial=partial),
             trace_summary=(
-                tracer.summary(since=trace_mark) if tracer is not None else None
+                tracer.summary(since=trace_mark)
+                if tracer is not None and not tracer.shadow
+                else None
             ),
         )
         self._account(result)

@@ -17,6 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.stats import Stats
 
 
 @dataclass
@@ -42,7 +46,7 @@ class TraceSummary:
         """The mirrored value of one ``Stats`` counter (0 if never hit)."""
         return self.counters.get(name, 0)
 
-    def reconcile(self, stats) -> dict[str, tuple[float, float]]:
+    def reconcile(self, stats: "Stats") -> dict[str, tuple[float, float]]:
         """Compare the mirrored counters against a ``Stats`` bundle.
 
         Returns ``{field: (traced, stats)}`` for every field that

@@ -75,10 +75,16 @@ class Tracer:
     even after the ring has wrapped (``dropped`` tells you by how much).
     """
 
-    def __init__(self, capacity: int = 65536) -> None:
+    def __init__(self, capacity: int = 65536, shadow: bool = False) -> None:
         if capacity < 1:
             raise ValueError(f"tracer capacity must be positive, got {capacity}")
         self.capacity = capacity
+        #: True for a sanitizer-installed shadow tracer
+        #: (:mod:`repro.analysis.sanitize`): it exists only to feed the
+        #: shadow accounting, so reporting sites skip it and
+        #: ``Result.trace_summary`` stays ``None`` exactly as if no
+        #: tracer were attached
+        self.shadow = shadow
         self.events: deque[TraceEvent] = deque(maxlen=capacity)
         #: total events recorded (including any the ring has dropped)
         self.events_recorded = 0

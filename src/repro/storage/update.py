@@ -22,6 +22,8 @@ of updates — fragmented layouts — are what the benchmarks simulate.
 
 from __future__ import annotations
 
+import os
+
 from repro.errors import StorageError, StoreCorruptError
 from repro.model.tree import Kind
 from repro.sim.faults import CRASH_UPDATE_APPLY
@@ -30,6 +32,20 @@ from repro.storage.ordpath import OrdPath, label_between
 from repro.storage.page import Page, Segment
 from repro.storage.record import BorderRecord, CoreRecord
 from repro.storage.store import DocumentStore, StoredDocument
+
+
+def _san_colviews(store: DocumentStore, page_nos) -> None:
+    """Mutation-sanitizer hook (:mod:`repro.analysis.sanitize`): after a
+    successful update, any cached columnar view of the touched pages must
+    match one rebuilt from the records.  One environment-dict lookup when
+    ``REPRO_SAN`` is unset."""
+    if os.environ.get("REPRO_SAN"):
+        from repro.analysis import sanitize
+
+        if "mutation" in sanitize.modes():
+            from repro.analysis.sanitize.mutation import check_colviews
+
+            check_colviews(store.segment, page_nos)
 
 
 def _crash_check(store: DocumentStore) -> None:
@@ -518,6 +534,7 @@ def insert_node(
         new_nid = make_nodeid(target_page.page_no, slot)
 
     doc.n_nodes += 1
+    _san_colviews(store, doc.page_nos)
     return new_nid
 
 
@@ -594,6 +611,7 @@ def delete_subtree(store: DocumentStore, doc: StoredDocument, nid: NodeID) -> in
         if garbage_page.record(garbage_slot) is not None:
             garbage_page.tombstone(garbage_slot)
     doc.n_nodes -= removed
+    _san_colviews(store, doc.page_nos)
     return removed
 
 
@@ -616,6 +634,7 @@ def update_value(store: DocumentStore, nid: NodeID, value: str) -> None:
         page.version += 1  # grow() bumps it on the other branch
     _crash_check(store)  # bytes re-accounted, value not yet replaced
     record.value = value
+    _san_colviews(store, [page.page_no])
 
 
 def _invalidate_statistics(doc: StoredDocument) -> None:

@@ -222,6 +222,13 @@ def _maintained_apply(
     touched = _touched_pages(store, versions)
     repair_synopsis(store, doc, base, touched)
     repair_pathsummary(store, doc, base_summary, touched)
+    if os.environ.get("REPRO_SAN"):
+        from repro.analysis import sanitize
+
+        if "mutation" in sanitize.modes():
+            from repro.analysis.sanitize.mutation import check_maintenance
+
+            check_maintenance(store, doc)
     return result, touched
 
 

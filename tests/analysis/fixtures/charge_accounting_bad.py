@@ -1,0 +1,32 @@
+"""Bad: double charge across layers, unpaired miss, free logical read."""
+
+
+def backing_read(stats, clock, tracer):
+    stats.pages_requested += 1
+    clock.work(0.001)
+    if tracer is not None:
+        tracer.count("pages_requested", 1)
+
+
+def layered_read(stats, clock, tracer):
+    # the PR 3 bug shape: this layer charges the request AND delegates
+    # to backing_read, which charges it again
+    stats.pages_requested += 1
+    clock.work(0.001)
+    if tracer is not None:
+        tracer.count("pages_requested", 1)
+    backing_read(stats, clock, tracer)
+
+
+def record_miss(stats, tracer):
+    # a miss that never requests the page: the pairing is incomplete
+    stats.buffer_misses += 1
+    if tracer is not None:
+        tracer.count("buffer_misses", 1)
+
+
+def free_read(stats, tracer):
+    # a logical read with no clock movement anywhere on the path
+    stats.pages_requested += 1
+    if tracer is not None:
+        tracer.count("pages_requested", 1)

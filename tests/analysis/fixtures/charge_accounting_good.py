@@ -1,0 +1,36 @@
+"""Good: one owning charge per physical event; CPU counters are exempt."""
+
+
+def backing_read(stats, clock, tracer):
+    stats.pages_requested += 1
+    clock.work(0.001)
+    if tracer is not None:
+        tracer.count("pages_requested", 1)
+
+
+def layered_read(stats, clock, tracer):
+    # the upper layer only delegates: exactly one charge per logical read
+    backing_read(stats, clock, tracer)
+
+
+def record_miss(stats, clock, tracer):
+    # the miss is paired with a reachable pages_requested charge
+    stats.buffer_misses += 1
+    if tracer is not None:
+        tracer.count("buffer_misses", 1)
+    backing_read(stats, clock, tracer)
+
+
+def count_tests(stats, tracer):
+    stats.node_tests += 1
+    if tracer is not None:
+        tracer.count("node_tests", 1)
+
+
+def charge_tests(stats, tracer):
+    # CPU-work counters charge per occurrence at many layers by design;
+    # they are policed by tracer-mirror and the runtime charge sanitizer
+    stats.node_tests += 1
+    if tracer is not None:
+        tracer.count("node_tests", 1)
+    count_tests(stats, tracer)

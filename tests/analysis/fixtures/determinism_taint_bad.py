@@ -1,0 +1,19 @@
+"""Bad: hash order leaks through a helper's set return; id() in the core."""
+
+
+def dirty_pages():
+    return {3, 1, 2}
+
+
+def flush_all(out):
+    for page in dirty_pages():  # iterates the unordered return directly
+        out.append(page)
+
+
+def snapshot():
+    pages = dirty_pages()
+    return list(pages)  # the taint survives the local rebinding
+
+
+def key_for(obj):
+    return id(obj)  # interpreter-run-dependent key

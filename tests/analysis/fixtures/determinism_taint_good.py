@@ -1,0 +1,25 @@
+"""Good: every unordered return is sorted before its order can matter."""
+
+
+def dirty_pages():
+    return {3, 1, 2}
+
+
+def flush_all(out):
+    for page in sorted(dirty_pages()):
+        out.append(page)
+
+
+def snapshot():
+    pages = dirty_pages()
+    return sorted(pages)
+
+
+def ordered_pages():
+    # returning a list is not a taint source
+    return [1, 2, 3]
+
+
+def drain(out):
+    for page in ordered_pages():
+        out.append(page)

@@ -1,0 +1,7 @@
+"""Drift fixture: charges (and mirrors) merges; node_tests is left dead."""
+
+
+def merge_step(stats, tracer):
+    stats.merges += 1
+    if tracer is not None:
+        tracer.count("merges", 1)

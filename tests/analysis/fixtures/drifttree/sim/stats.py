@@ -1,0 +1,6 @@
+"""Drift fixture: a miniature Stats with one counter nothing charges."""
+
+
+class Stats:
+    merges: int = 0
+    node_tests: int = 0

@@ -1,0 +1,13 @@
+"""Entry-point fixture: request() forgot its pages_requested charge."""
+
+
+class AsyncIOSystem:
+    def read_sync(self, page_no):
+        # contracted counters all present: no finding
+        self.stats.sync_requests += 1
+        self.clock.work(0.0001)
+
+    def request(self, page_no):
+        # missed charge: the contract also requires pages_requested
+        self.stats.async_requests += 1
+        self.clock.work(0.0001)

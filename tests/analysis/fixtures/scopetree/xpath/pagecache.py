@@ -1,0 +1,16 @@
+"""Scope fixture (xpath/): byte-identical bug, outside the rule's scope."""
+
+
+def backing_read(stats, clock, tracer):
+    stats.pages_requested += 1
+    clock.work(0.001)
+    if tracer is not None:
+        tracer.count("pages_requested", 1)
+
+
+def layered_read(stats, clock, tracer):
+    stats.pages_requested += 1
+    clock.work(0.001)
+    if tracer is not None:
+        tracer.count("pages_requested", 1)
+    backing_read(stats, clock, tracer)

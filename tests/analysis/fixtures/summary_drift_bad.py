@@ -1,0 +1,12 @@
+"""Bad: a typo'd tracer mirror and a counter charged but never mirrored."""
+
+
+def charge_phantom(stats, tracer):
+    # "pages_requsted" names no Stats field: reconcile never checks it
+    if tracer is not None:
+        tracer.count("pages_requsted", 1)
+
+
+def charge_orphan(stats):
+    # charged here, mirrored nowhere in the linted tree
+    stats.merges += 1

@@ -1,0 +1,13 @@
+"""Good: every charge has a mirror and every mirror names a real field."""
+
+
+def charge_merge(stats, tracer):
+    stats.merges += 1
+    if tracer is not None:
+        tracer.count("merges", 1)
+
+
+def charge_tests(stats, tracer):
+    stats.node_tests += 1
+    if tracer is not None:
+        tracer.count("node_tests", 1)

@@ -1,0 +1,15 @@
+"""Fixture: one live suppression, one stale, one for a rule not run."""
+
+import time
+
+
+def wall_clock():
+    return time.time()  # replint: disable=nondeterminism
+
+
+def pure():
+    return 42  # replint: disable=nondeterminism
+
+
+def other():
+    return None  # replint: disable=slots

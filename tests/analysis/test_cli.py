@@ -62,6 +62,29 @@ def test_scopes_keep_rules_off_unrelated_files(staged_tree, capsys):
     assert "tuples.py" not in out
 
 
+def test_warn_unused_suppressions_flag(tmp_path, capsys):
+    (tmp_path / "sim").mkdir()
+    shutil.copy(FIXTURES / "unused_suppression.py", tmp_path / "sim" / "helpers.py")
+    # without the flag the stale comment is invisible: the live one
+    # silences the only finding and the run is clean
+    code = main([str(tmp_path), "--no-config", "--rules", "nondeterminism"])
+    assert code == 0
+    capsys.readouterr()
+    code = main(
+        [
+            str(tmp_path),
+            "--no-config",
+            "--rules",
+            "nondeterminism",
+            "--warn-unused-suppressions",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[unused-suppression]" in out
+    assert "silenced nothing" in out
+
+
 def test_unknown_rule_id_is_a_usage_error(capsys):
     code = main([str(FIXTURES / "slots_bad.py"), "--rules", "no-such-rule"])
     assert code == 2

@@ -29,6 +29,32 @@ def test_same_code_without_suppressions_fires():
     assert {f.rule for f in findings} == {"slots", "nondeterminism", "runtime-assert"}
 
 
+def test_unused_suppressions_are_reported_on_request():
+    rule = rules_by_id()["nondeterminism"]()
+    findings = lint_paths(
+        [FIXTURES / "unused_suppression.py"],
+        config=ReplintConfig.everywhere(),
+        rules=[rule],
+        warn_unused_suppressions=True,
+    )
+    # the live suppression (wall_clock) silences its finding and is not
+    # reported; the stale one (pure) is; the slots one is skipped because
+    # the slots rule did not run, so there is no verdict on it
+    assert [f.rule for f in findings] == ["unused-suppression"]
+    assert "disable=nondeterminism" in findings[0].message
+    assert findings[0].line == 11
+
+
+def test_unused_suppressions_stay_quiet_by_default():
+    rule = rules_by_id()["nondeterminism"]()
+    findings = lint_paths(
+        [FIXTURES / "unused_suppression.py"],
+        config=ReplintConfig.everywhere(),
+        rules=[rule],
+    )
+    assert findings == []
+
+
 def test_default_scopes_keep_rules_off_unrelated_modules():
     config = ReplintConfig()
     assert config.in_scope("runtime-assert", "storage/persist.py")
@@ -62,6 +88,10 @@ def test_rule_catalogue_is_complete_and_described():
         "slots",
         "feature-gate",
         "set-iteration",
+        "charge-accounting",
+        "gate-coherence",
+        "determinism-taint",
+        "summary-drift",
     }
     for rule_class in catalogue.values():
         assert rule_class.id

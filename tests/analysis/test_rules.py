@@ -96,6 +96,21 @@ def test_feature_gate_passes_good_fixture():
     assert run_rule("feature-gate", "feature_gate_good.py") == []
 
 
+def test_feature_gate_recognises_walrus_and_while_guards():
+    # `if (tracer := self.tracer) is not None:` proves both the local and
+    # the slot; a while condition guards the loop body each iteration
+    assert run_rule("feature-gate", "feature_gate_walrus_good.py") == []
+
+
+def test_feature_gate_walrus_guards_do_not_overreach():
+    findings = run_rule("feature-gate", "feature_gate_walrus_bad.py")
+    keys = {f.message.split("'")[1] for f in findings}
+    assert len(findings) == 2
+    # a walrus on tracer proves nothing about synopsis, and the while
+    # guard expires at the loop exit
+    assert keys == {"self.synopsis", "tracer"}
+
+
 # ------------------------------------------------------------- set-iteration
 
 
